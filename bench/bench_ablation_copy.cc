@@ -1,0 +1,79 @@
+// Ablation: pointer buffers vs copying buffers. The paper stores tuple
+// *pointers* because "the overhead of copying would reduce the benefit of
+// buffering instructions" (§5). The copying variant pays extra instructions
+// and data-cache traffic per tuple.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/buffer_operator.h"
+#include "exec/aggregation.h"
+#include "exec/seq_scan.h"
+#include "sql/binder.h"
+
+using namespace bufferdb;        // NOLINT
+using namespace bufferdb::bench;  // NOLINT
+
+namespace {
+
+sim::CycleBreakdown RunQuery1Manually(Catalog& catalog, bool buffered,
+                                      bool copy_tuples) {
+  Table* lineitem = catalog.GetTable("lineitem");
+  const Schema& s = lineitem->schema();
+  auto col = [&s](const char* name) {
+    auto r = MakeColumnRef(s, name);
+    return std::move(*r);
+  };
+  auto lit_d = [](double v) { return MakeLiteral(Value::Double(v)); };
+
+  auto charge = MakeBinary(
+      BinaryOp::kMul,
+      std::move(*MakeBinary(BinaryOp::kMul, col("l_extendedprice"),
+                            std::move(*MakeBinary(BinaryOp::kSub, lit_d(1.0),
+                                                  col("l_discount"))))),
+      std::move(*MakeBinary(BinaryOp::kAdd, lit_d(1.0), col("l_tax"))));
+
+  OperatorPtr plan = std::make_unique<SeqScanOperator>(
+      lineitem, std::move(*MakeBinary(BinaryOp::kGe, col("l_quantity"),
+                                      lit_d(0.0))));
+  if (buffered) {
+    plan = std::make_unique<BufferOperator>(std::move(plan), 1000,
+                                            copy_tuples);
+  }
+  std::vector<AggSpec> specs;
+  specs.push_back(AggSpec{AggFunc::kSum, std::move(*charge), "sum_charge"});
+  specs.push_back(AggSpec{AggFunc::kAvg, col("l_quantity"), "avg_qty"});
+  specs.push_back(AggSpec{AggFunc::kCountStar, nullptr, "count"});
+  plan = std::make_unique<AggregationOperator>(std::move(plan),
+                                               std::move(specs));
+  sim::SimCpu cpu;
+  ExecContext ctx;
+  ctx.cpu = &cpu;
+  auto rows = ExecutePlanRows(plan.get(), &ctx);
+  if (!rows.ok()) std::exit(1);
+  return cpu.Breakdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  std::printf("Ablation: pointer vs copying buffer (Query 1 template)\n\n");
+  auto original = RunQuery1Manually(catalog, false, false);
+  auto pointer = RunQuery1Manually(catalog, true, false);
+  auto copying = RunQuery1Manually(catalog, true, true);
+  std::printf("%-18s %12s %14s %14s\n", "variant", "sim sec", "L1D misses",
+              "L2 misses");
+  auto row = [](const char* name, const sim::CycleBreakdown& b) {
+    std::printf("%-18s %12.4f %14llu %14llu\n", name, b.seconds(),
+                static_cast<unsigned long long>(b.counters.l1d_misses),
+                static_cast<unsigned long long>(b.counters.l2_misses));
+  };
+  row("unbuffered", original);
+  row("buffer (pointers)", pointer);
+  row("buffer (copies)", copying);
+  std::printf("\ncopy overhead vs pointers: %+.2f%% elapsed\n",
+              100.0 * (copying.seconds() / pointer.seconds() - 1.0));
+  return 0;
+}

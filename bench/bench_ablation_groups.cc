@@ -1,0 +1,37 @@
+// Ablation: execution-group merging vs buffering above every eligible
+// operator — the "too much buffering" regime of §6. Merging avoids useless
+// buffers inside already-cache-resident pipelines (Query 2) while matching
+// the everywhere strategy when footprints genuinely overflow (Query 1/3).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bufferdb::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  std::printf("Ablation: group merging vs buffer-everywhere\n\n");
+  std::printf("%-10s %14s %16s %8s %18s %8s\n", "query", "original(s)",
+              "merged-groups(s)", "bufs", "buffer-everywhere", "bufs");
+  struct Item {
+    const char* name;
+    const char* sql;
+  } items[] = {{"Query 1", kQuery1}, {"Query 2", kQuery2},
+               {"Query 3", kQuery3}};
+  for (const Item& item : items) {
+    QueryRun original = RunQuery(catalog, item.sql);
+    RunOptions merged;
+    merged.refine = true;
+    QueryRun grouped = RunQuery(catalog, item.sql, merged);
+    RunOptions everywhere;
+    everywhere.refine = true;
+    everywhere.refinement.merge_execution_groups = false;
+    QueryRun ungrouped = RunQuery(catalog, item.sql, everywhere);
+    std::printf("%-10s %14.4f %16.4f %8d %18.4f %8d\n", item.name,
+                original.breakdown.seconds(), grouped.breakdown.seconds(),
+                grouped.report.buffers_added, ungrouped.breakdown.seconds(),
+                ungrouped.report.buffers_added);
+  }
+  return 0;
+}

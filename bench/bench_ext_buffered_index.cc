@@ -1,0 +1,99 @@
+// Extension bench: batched index probes (the authors' companion paper,
+// "Buffering Accesses to Memory-Resident Index Structures"). Compares the
+// paper's Query 3 under:
+//   1. plain index nested-loop join (the Fig. 15 baseline),
+//   2. the §6.2-refined plan (buffer above the outer scan),
+//   3. BufferedIndexJoin: refined + key-sorted batched probes.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/date.h"
+#include "core/buffer_operator.h"
+#include "core/buffered_index_join.h"
+#include "exec/aggregation.h"
+#include "exec/seq_scan.h"
+#include "sim/sim_cpu.h"
+
+using namespace bufferdb;         // NOLINT
+using namespace bufferdb::bench;  // NOLINT
+
+namespace {
+
+std::vector<AggSpec> Query3Aggs(const Schema& joined) {
+  auto col = [&joined](const std::string& name) {
+    auto r = MakeColumnRef(joined, name);
+    return std::move(*r);
+  };
+  std::vector<AggSpec> specs;
+  specs.push_back(AggSpec{AggFunc::kSum, col("o_totalprice"), "sum"});
+  specs.push_back(AggSpec{AggFunc::kCountStar, nullptr, "count"});
+  specs.push_back(AggSpec{AggFunc::kAvg, col("l_discount"), "avg"});
+  return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+
+  // Baselines via the SQL path.
+  RunOptions nlj;
+  nlj.join_strategy = JoinStrategy::kIndexNestLoop;
+  QueryRun plain = RunQuery(catalog, kQuery3, nlj);
+  RunOptions refined = nlj;
+  refined.refine = true;
+  QueryRun buffered = RunQuery(catalog, kQuery3, refined);
+
+  // Batched-probe plan, hand-built.
+  Table* lineitem = catalog.GetTable("lineitem");
+  const IndexInfo* orders_pk = catalog.GetIndex("orders_pk");
+  const Schema& ls = lineitem->schema();
+
+  std::printf("Extension: batched index probes (Query 3, nested loop)\n\n");
+  std::printf("%-28s %12s %14s %14s\n", "plan", "sim sec", "L1I misses",
+              "L1D misses");
+  auto print = [](const char* name, const sim::CycleBreakdown& b) {
+    std::printf("%-28s %12.4f %14llu %14llu\n", name, b.seconds(),
+                static_cast<unsigned long long>(b.counters.l1i_misses),
+                static_cast<unsigned long long>(b.counters.l1d_misses));
+  };
+  print("index NLJ (original)", plain.breakdown);
+  print("index NLJ (refined)", buffered.breakdown);
+
+  for (size_t batch : {100u, 1000u, 10000u}) {
+    auto pred = MakeBinary(BinaryOp::kLe, std::move(*MakeColumnRef(ls, "l_shipdate")),
+                           MakeLiteral(Value::Date(MakeDate(1998, 9, 2))));
+    OperatorPtr outer =
+        std::make_unique<SeqScanOperator>(lineitem, std::move(*pred));
+    outer = std::make_unique<BufferOperator>(std::move(outer), 1000);
+    auto join = std::make_unique<BufferedIndexJoinOperator>(
+        std::move(outer), orders_pk, std::move(*MakeColumnRef(ls, "l_orderkey")),
+        batch);
+    std::vector<AggSpec> specs = Query3Aggs(join->output_schema());
+    AggregationOperator agg(std::move(join), std::move(specs));
+
+    sim::SimCpu cpu;
+    ExecContext ctx;
+    ctx.cpu = &cpu;
+    auto rows = ExecutePlanRows(&agg, &ctx);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "exec: %s\n", rows.status().ToString().c_str());
+      return 1;
+    }
+    // Sanity: same aggregate as the SQL plans.
+    if ((*rows)[0][1].int64_value() !=
+        buffered.rows[0][1].int64_value()) {
+      std::fprintf(stderr, "count mismatch!\n");
+      return 1;
+    }
+    char name[64];
+    std::snprintf(name, sizeof(name), "batched probes (batch=%zu)", batch);
+    print(name, cpu.Breakdown());
+  }
+  std::printf("\nBatched probes run the index code in long runs AND visit "
+              "B+-tree nodes in key order,\ncutting both instruction and "
+              "data misses relative to tuple-at-a-time probing.\n");
+  return 0;
+}

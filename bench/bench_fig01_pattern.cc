@@ -1,0 +1,50 @@
+// Figure 1: the operator execution sequence with and without a buffer
+// operator, recorded from the real executor:
+//   (a) original:  PCPCPCPCPCP...
+//   (b) buffered:  PCCCCCPPPPP... (with B marking the buffer itself)
+
+#include <cstdio>
+#include <memory>
+
+#include "core/buffer_operator.h"
+#include "exec/aggregation.h"
+#include "exec/seq_scan.h"
+#include "profile/calibration_queries.h"
+#include "profile/call_sequence.h"
+
+using namespace bufferdb;  // NOLINT
+
+namespace {
+
+void Run(Table* table, size_t buffer_size, const char* title) {
+  OperatorPtr plan = std::make_unique<SeqScanOperator>(table, nullptr);
+  if (buffer_size > 0) {
+    plan = std::make_unique<BufferOperator>(std::move(plan), buffer_size);
+  }
+  std::vector<AggSpec> specs;
+  specs.push_back(AggSpec{AggFunc::kCountStar, nullptr, "c"});
+  AggregationOperator agg(std::move(plan), std::move(specs));
+
+  profile::CallSequenceRecorder recorder;
+  sim::SimCpu cpu;
+  cpu.set_call_graph_sink(&recorder);
+  ExecContext ctx;
+  ctx.cpu = &cpu;
+  auto rows = ExecutePlanRows(&agg, &ctx);
+  if (!rows.ok()) std::exit(1);
+
+  std::printf("%s\n  %s\n  legend: %s\n  transitions: %llu\n\n", title,
+              recorder.Compressed(4).c_str(), recorder.Legend().c_str(),
+              static_cast<unsigned long long>(recorder.Transitions()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1: operator execution sequence (30-tuple input)\n\n");
+  auto table = profile::BuildSyntheticItems(30, /*seed=*/3);
+  Run(table.get(), 0, "(a) original (demand-pull, one tuple per call):");
+  Run(table.get(), 5, "(b) buffered (buffer size 5):");
+  Run(table.get(), 15, "(c) buffered (buffer size 15):");
+  return 0;
+}

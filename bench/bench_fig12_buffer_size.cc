@@ -1,0 +1,26 @@
+// Figure 12: buffered Query 1 performance as a function of the buffer
+// size. The paper: small buffers pay overhead; beyond ~1000 entries there is
+// no further benefit.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bufferdb::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  QueryRun original = RunQuery(catalog, kQuery1);
+  std::printf("Figure 12: varied buffer sizes (Query 1)\n\n");
+  std::printf("%-12s %14s\n", "buffer size", "elapsed (sim s)");
+  std::printf("%-12s %14.4f\n", "original", original.breakdown.seconds());
+  for (size_t size : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u,
+                      2048u, 4096u, 8192u, 16384u, 32768u}) {
+    RunOptions options;
+    options.refine = true;
+    options.buffer_size = size;
+    QueryRun run = RunQuery(catalog, kQuery1, options);
+    std::printf("%-12zu %14.4f\n", size, run.breakdown.seconds());
+  }
+  return 0;
+}

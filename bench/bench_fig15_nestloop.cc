@@ -1,0 +1,25 @@
+// Figure 15: Query 3 with nested-loop joins. The inner foreign-key
+// IndexScan is never buffered ("the optimizer knows that at most one row
+// matches each outer tuple"); the outer scan (and the join group) are.
+// Paper: 53% fewer trace-cache misses, 26% fewer mispredictions.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bufferdb::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  RunOptions base;
+  base.join_strategy = bufferdb::JoinStrategy::kIndexNestLoop;
+  QueryRun original = RunQuery(catalog, kQuery3, base);
+  RunOptions refined = base;
+  refined.refine = true;
+  QueryRun buffered = RunQuery(catalog, kQuery3, refined);
+
+  std::printf("Figure 15: Query 3, nested-loop join plans\n\n");
+  std::printf("%s\n", buffered.report.ToString().c_str());
+  PrintComparison("NestLoop join", original, buffered);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Google-benchmark microbenchmarks: real (wall-clock) per-tuple overhead of
+// the buffer operator on this host, without the CPU simulator. Supports the
+// paper's claim that the buffer operator is light-weight.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/buffer_operator.h"
+#include "exec/aggregation.h"
+#include "exec/seq_scan.h"
+#include "profile/calibration_queries.h"
+
+namespace bufferdb {
+namespace {
+
+Table* SharedItems() {
+  static Table* table =
+      profile::BuildSyntheticItems(100000, /*seed=*/99).release();
+  return table;
+}
+
+OperatorPtr MakeCountPlan(Table* table, size_t buffer_size) {
+  OperatorPtr plan = std::make_unique<SeqScanOperator>(table, nullptr);
+  if (buffer_size > 0) {
+    plan = std::make_unique<BufferOperator>(std::move(plan), buffer_size);
+  }
+  std::vector<AggSpec> specs;
+  specs.push_back(AggSpec{AggFunc::kCountStar, nullptr, "c"});
+  return std::make_unique<AggregationOperator>(std::move(plan),
+                                               std::move(specs));
+}
+
+void BM_ScanAggregate(benchmark::State& state) {
+  Table* table = SharedItems();
+  for (auto _ : state) {
+    OperatorPtr plan = MakeCountPlan(table, 0);
+    ExecContext ctx;
+    auto rows = ExecutePlan(plan.get(), &ctx);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table->num_rows()));
+}
+BENCHMARK(BM_ScanAggregate);
+
+void BM_ScanAggregateBuffered(benchmark::State& state) {
+  Table* table = SharedItems();
+  size_t buffer_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    OperatorPtr plan = MakeCountPlan(table, buffer_size);
+    ExecContext ctx;
+    auto rows = ExecutePlan(plan.get(), &ctx);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table->num_rows()));
+}
+BENCHMARK(BM_ScanAggregateBuffered)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BufferRefillOnly(benchmark::State& state) {
+  Table* table = SharedItems();
+  for (auto _ : state) {
+    BufferOperator buffer(std::make_unique<SeqScanOperator>(table, nullptr),
+                          static_cast<size_t>(state.range(0)));
+    ExecContext ctx;
+    if (!buffer.Open(&ctx).ok()) state.SkipWithError("open failed");
+    while (buffer.Next() != nullptr) {
+    }
+    buffer.Close();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table->num_rows()));
+}
+BENCHMARK(BM_BufferRefillOnly)->Arg(1)->Arg(1000);
+
+void BM_CopyingBuffer(benchmark::State& state) {
+  Table* table = SharedItems();
+  for (auto _ : state) {
+    BufferOperator buffer(std::make_unique<SeqScanOperator>(table, nullptr),
+                          1000, /*copy_tuples=*/true);
+    ExecContext ctx;
+    if (!buffer.Open(&ctx).ok()) state.SkipWithError("open failed");
+    while (buffer.Next() != nullptr) {
+    }
+    buffer.Close();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table->num_rows()));
+}
+BENCHMARK(BM_CopyingBuffer);
+
+}  // namespace
+}  // namespace bufferdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Table 3: overall improvement of buffered over original plans for the
+// three join schemes (paper: 15% / 15% / 12%).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bufferdb::bench;  // NOLINT
+using bufferdb::JoinStrategy;
+
+int main(int argc, char** argv) {
+  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  std::printf("Table 3: overall improvement (Query 3)\n\n");
+  std::printf("%-12s %14s %14s %12s\n", "join", "original(s)", "buffered(s)",
+              "improvement");
+  for (JoinStrategy strategy :
+       {JoinStrategy::kIndexNestLoop, JoinStrategy::kHashJoin,
+        JoinStrategy::kMergeJoin}) {
+    RunOptions base;
+    base.join_strategy = strategy;
+    QueryRun original = RunQuery(catalog, kQuery3, base);
+    RunOptions refined = base;
+    refined.refine = true;
+    QueryRun buffered = RunQuery(catalog, kQuery3, refined);
+    std::printf("%-12s %14.4f %14.4f %11.1f%%\n",
+                bufferdb::JoinStrategyName(strategy),
+                original.breakdown.seconds(), buffered.breakdown.seconds(),
+                100.0 * (1.0 - buffered.breakdown.seconds() /
+                                   original.breakdown.seconds()));
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "plan/plan_printer.h"
+#include "sql/binder.h"
+#include "tpch/tpch_gen.h"
+
+namespace bufferdb::bench {
+
+const char kQuery1[] =
+    "SELECT SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) "
+    "AS sum_charge, AVG(l_quantity) AS avg_qty, COUNT(*) AS count_order "
+    "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'";
+
+const char kQuery2[] =
+    "SELECT COUNT(*) AS count_order FROM lineitem "
+    "WHERE l_shipdate <= DATE '1998-09-02'";
+
+const char kQuery3[] =
+    "SELECT SUM(o_totalprice), COUNT(*), AVG(l_discount) "
+    "FROM lineitem, orders "
+    "WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02'";
+
+Catalog& SharedTpch(double scale_factor) {
+  static std::map<long, std::unique_ptr<Catalog>>* catalogs =
+      new std::map<long, std::unique_ptr<Catalog>>();
+  long key = static_cast<long>(scale_factor * 1e6);
+  auto it = catalogs->find(key);
+  if (it == catalogs->end()) {
+    auto catalog = std::make_unique<Catalog>();
+    tpch::TpchConfig config;
+    config.scale_factor = scale_factor;
+    Status st = tpch::LoadTpch(config, catalog.get());
+    if (!st.ok()) {
+      std::fprintf(stderr, "TPC-H load failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("# TPC-H scale factor %.3f (%zu lineitem rows)\n",
+                scale_factor, catalog->GetTable("lineitem")->num_rows());
+    it = catalogs->emplace(key, std::move(catalog)).first;
+  }
+  return *it->second;
+}
+
+double ScaleFactorFromArgs(int argc, char** argv) {
+  if (argc > 1) {
+    double sf = std::atof(argv[1]);
+    if (sf > 0) return sf;
+  }
+  return kDefaultScaleFactor;
+}
+
+QueryRun RunQuery(Catalog& catalog, const std::string& sql,
+                  const RunOptions& options) {
+  sql::Binder binder(&catalog);
+  auto query = binder.BindSql(sql);
+  if (!query.ok()) {
+    std::fprintf(stderr, "bind failed: %s\n  %s\n",
+                 query.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  PlannerOptions planner_options;
+  planner_options.refine = options.refine;
+  planner_options.join_strategy = options.join_strategy;
+  planner_options.refinement = options.refinement;
+  planner_options.refinement.buffer_size = options.buffer_size;
+  PhysicalPlanner planner(&catalog, planner_options);
+
+  QueryRun run;
+  auto plan = planner.CreatePlan(*query, &run.report);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n", plan.status().ToString().c_str());
+    std::exit(1);
+  }
+  run.plan_text = PrintPlan(**plan);
+
+  sim::SimCpu cpu(options.sim_config);
+  ExecContext ctx;
+  ctx.cpu = &cpu;
+  auto rows = ExecutePlanRows(plan->get(), &ctx);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "exec failed: %s\n", rows.status().ToString().c_str());
+    std::exit(1);
+  }
+  run.rows = std::move(*rows);
+  run.breakdown = cpu.Breakdown();
+  return run;
+}
+
+void PrintComparison(const std::string& title, const QueryRun& original,
+                     const QueryRun& buffered) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("original plan:\n%s", original.plan_text.c_str());
+  std::printf("buffered plan:\n%s", buffered.plan_text.c_str());
+  std::printf("%s", original.breakdown.ToString("original").c_str());
+  std::printf("%s", buffered.breakdown.ToString("buffered").c_str());
+
+  const sim::SimCounters& a = original.breakdown.counters;
+  const sim::SimCounters& b = buffered.breakdown.counters;
+  auto reduction = [](uint64_t orig, uint64_t buf) {
+    return orig == 0 ? 0.0
+                     : 100.0 * (1.0 - static_cast<double>(buf) /
+                                          static_cast<double>(orig));
+  };
+  std::printf(
+      "trace-cache misses  %12llu -> %12llu  (%.1f%% reduction)\n"
+      "branch mispredicts  %12llu -> %12llu  (%.1f%% reduction)\n"
+      "ITLB misses         %12llu -> %12llu  (%.1f%% reduction)\n"
+      "L2 misses           %12llu -> %12llu\n"
+      "instructions        %12llu -> %12llu\n"
+      "elapsed (sim)       %12.4f -> %12.4f s  (%.1f%% improvement)\n\n",
+      static_cast<unsigned long long>(a.l1i_misses),
+      static_cast<unsigned long long>(b.l1i_misses),
+      reduction(a.l1i_misses, b.l1i_misses),
+      static_cast<unsigned long long>(a.mispredicts),
+      static_cast<unsigned long long>(b.mispredicts),
+      reduction(a.mispredicts, b.mispredicts),
+      static_cast<unsigned long long>(a.itlb_misses),
+      static_cast<unsigned long long>(b.itlb_misses),
+      reduction(a.itlb_misses, b.itlb_misses),
+      static_cast<unsigned long long>(a.l2_misses),
+      static_cast<unsigned long long>(b.l2_misses),
+      static_cast<unsigned long long>(a.instructions),
+      static_cast<unsigned long long>(b.instructions),
+      original.breakdown.seconds(), buffered.breakdown.seconds(),
+      100.0 * (1.0 - buffered.breakdown.seconds() /
+                         original.breakdown.seconds()));
+}
+
+}  // namespace bufferdb::bench

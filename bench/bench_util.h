@@ -1,0 +1,57 @@
+#ifndef BUFFERDB_BENCH_BENCH_UTIL_H_
+#define BUFFERDB_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/plan_refiner.h"
+#include "plan/physical_planner.h"
+#include "sim/cost_model.h"
+#include "sim/sim_cpu.h"
+
+namespace bufferdb::bench {
+
+/// Paper queries (§4, §7.2, §7.5) against the TPC-H schema.
+extern const char kQuery1[];  // SUM/AVG/COUNT over filtered lineitem scan.
+extern const char kQuery2[];  // COUNT over filtered lineitem scan.
+extern const char kQuery3[];  // lineitem x orders aggregate join.
+
+/// Default scale factor used by the benches; override with argv[1].
+constexpr double kDefaultScaleFactor = 0.02;
+
+/// Loads (once per process) and returns the shared TPC-H catalog.
+Catalog& SharedTpch(double scale_factor);
+
+/// Parses argv[1] as a scale factor if present.
+double ScaleFactorFromArgs(int argc, char** argv);
+
+struct QueryRun {
+  std::vector<std::vector<Value>> rows;
+  sim::CycleBreakdown breakdown;
+  std::string plan_text;
+  RefinementReport report;
+};
+
+struct RunOptions {
+  bool refine = false;
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+  size_t buffer_size = 1000;
+  sim::SimConfig sim_config;
+  RefinementOptions refinement;  // cardinality/l1i defaults; buffer_size and
+                                 // merge flags applied from above.
+};
+
+/// Plans and executes `sql` on the simulated CPU; dies on error.
+QueryRun RunQuery(Catalog& catalog, const std::string& sql,
+                  const RunOptions& options = RunOptions());
+
+/// Prints an original-vs-buffered comparison in the paper's figure format,
+/// including miss/misprediction reductions and the net improvement.
+void PrintComparison(const std::string& title, const QueryRun& original,
+                     const QueryRun& buffered);
+
+}  // namespace bufferdb::bench
+
+#endif  // BUFFERDB_BENCH_BENCH_UTIL_H_

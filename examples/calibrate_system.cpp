@@ -1,0 +1,60 @@
+// System-calibration example: the one-time per-system step the paper
+// prescribes (§6) — measure per-operator instruction footprints via dynamic
+// call graphs and find the cardinality threshold via the Query-1 template —
+// then persist the result so future sessions can load instead of re-running.
+//
+//   ./build/examples/calibrate_system [output_path]
+
+#include <cstdio>
+
+#include "core/plan_refiner.h"
+#include "profile/calibration_io.h"
+#include "sim/code_layout.h"
+
+using namespace bufferdb;  // NOLINT: example code.
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1] : "bufferdb_calibration.txt";
+
+  std::printf("Calibrating (footprints + cardinality threshold)...\n\n");
+  auto calibration = profile::CalibrateAndSave(path);
+  if (!calibration.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 calibration.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", calibration->footprints.ToString().c_str());
+  std::printf("\ncardinality threshold: %.0f\n",
+              calibration->cardinality_threshold);
+  std::printf("saved to %s\n\n", path.c_str());
+
+  // A later session loads the file instead of re-measuring, and feeds the
+  // values into the plan refiner.
+  auto loaded = profile::LoadCalibration(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "reload failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  RefinementOptions options;
+  options.cardinality_threshold = loaded->cardinality_threshold;
+  PlanRefiner refiner(options);
+  std::printf("reloaded OK; PlanRefiner configured with threshold %.0f and "
+              "L1I capacity %llu bytes\n",
+              refiner.options().cardinality_threshold,
+              static_cast<unsigned long long>(
+                  refiner.options().l1i_capacity_bytes));
+
+  // Show the static-vs-dynamic contrast the paper discusses in §6.1.
+  std::printf("\nstatic vs dynamic footprint (why the paper profiles "
+              "dynamically):\n");
+  for (auto module : {sim::ModuleId::kSeqScan, sim::ModuleId::kSort}) {
+    std::printf("  %-12s dynamic %5llu B   static estimate %5llu B\n",
+                sim::ModuleName(module),
+                static_cast<unsigned long long>(
+                    loaded->footprints.footprint_bytes(module)),
+                static_cast<unsigned long long>(
+                    loaded->footprints.StaticEstimateBytes(module)));
+  }
+  return 0;
+}

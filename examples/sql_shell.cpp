@@ -1,0 +1,131 @@
+// Interactive SQL shell over the memory-resident TPC-H database. Each
+// statement is planned twice (original and refined); results come from the
+// refined plan, followed by both plans and the simulated-counter comparison.
+//
+//   ./build/examples/sql_shell [scale_factor]
+//   bufferdb> SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10;
+//
+// Meta commands: \tables, \plan on|off, \q
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "plan/physical_planner.h"
+#include "plan/plan_printer.h"
+#include "sim/sim_cpu.h"
+#include "sql/binder.h"
+#include "tpch/tpch_gen.h"
+
+using namespace bufferdb;  // NOLINT: example code.
+
+namespace {
+
+void ExecuteStatement(const Catalog& catalog, const std::string& sql,
+                      bool show_plans) {
+  sql::Binder binder(&catalog);
+  auto query = binder.BindSql(sql);
+  if (!query.ok()) {
+    std::printf("error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+
+  double seconds[2] = {0, 0};
+  for (int pass = 0; pass < 2; ++pass) {
+    bool refine = pass == 1;
+    PlannerOptions options;
+    options.refine = refine;
+    PhysicalPlanner planner(&catalog, options);
+    auto plan = planner.CreatePlan(*query);
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+      return;
+    }
+    sim::SimCpu cpu;
+    ExecContext ctx;
+    ctx.cpu = &cpu;
+    auto rows = ExecutePlanRows(plan->get(), &ctx);
+    if (!rows.ok()) {
+      std::printf("error: %s\n", rows.status().ToString().c_str());
+      return;
+    }
+    seconds[pass] = cpu.Breakdown().seconds();
+    if (refine) {
+      const Schema& schema = (*plan)->output_schema();
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        std::printf("%s%s", c > 0 ? " | " : "", schema.column(c).name.c_str());
+      }
+      std::printf("\n");
+      size_t shown = 0;
+      for (const auto& row : *rows) {
+        if (++shown > 20) {
+          std::printf("... (%zu rows total)\n", rows->size());
+          break;
+        }
+        for (size_t c = 0; c < row.size(); ++c) {
+          std::printf("%s%s", c > 0 ? " | " : "", row[c].ToString().c_str());
+        }
+        std::printf("\n");
+      }
+      std::printf("(%zu rows)\n", rows->size());
+    }
+    if (show_plans) {
+      std::printf("%s plan:\n%s", refine ? "refined" : "original",
+                  PrintPlan(**plan).c_str());
+    }
+  }
+  std::printf("simulated: original %.4fs, refined %.4fs (%.1f%% faster)\n",
+              seconds[0], seconds[1],
+              100.0 * (1.0 - seconds[1] / seconds[0]));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.01;
+  if (argc > 1) config.scale_factor = std::atof(argv[1]);
+  Catalog catalog;
+  Status st = tpch::LoadTpch(config, &catalog);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("BufferDB SQL shell — TPC-H SF %.3f loaded. \\q to quit.\n",
+              config.scale_factor);
+
+  bool show_plans = true;
+  std::string line, statement;
+  while (true) {
+    std::printf("%s", statement.empty() ? "bufferdb> " : "      ... ");
+    if (!std::getline(std::cin, line)) break;
+    if (line == "\\q") break;
+    if (line == "\\tables") {
+      for (const std::string& name : catalog.TableNames()) {
+        std::printf("  %-10s %8zu rows\n", name.c_str(),
+                    catalog.GetTable(name)->num_rows());
+      }
+      continue;
+    }
+    if (line == "\\plan on") {
+      show_plans = true;
+      continue;
+    }
+    if (line == "\\plan off") {
+      show_plans = false;
+      continue;
+    }
+    statement += line;
+    statement += " ";
+    if (line.find(';') == std::string::npos && !line.empty()) continue;
+    if (statement.find_first_not_of(" ;") == std::string::npos) {
+      statement.clear();
+      continue;
+    }
+    ExecuteStatement(catalog, statement, show_plans);
+    statement.clear();
+  }
+  return 0;
+}

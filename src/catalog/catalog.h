@@ -1,0 +1,52 @@
+#ifndef BUFFERDB_CATALOG_CATALOG_H_
+#define BUFFERDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/btree.h"
+#include "storage/table.h"
+
+namespace bufferdb {
+
+/// A secondary (or primary) index over one int64/date column of a table.
+struct IndexInfo {
+  std::string name;
+  Table* table = nullptr;
+  int column = -1;
+  bool unique = false;  // Declared unique (e.g. primary key).
+  std::unique_ptr<BTree> btree;
+};
+
+/// Name -> table/index registry for a database instance.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status AddTable(std::unique_ptr<Table> table);
+  Table* GetTable(const std::string& name) const;
+
+  /// Builds a B+-tree over `column_name` of `table_name` (int64/date only).
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& table_name,
+                     const std::string& column_name, bool unique = false);
+
+  /// First index on (table, column), or nullptr.
+  const IndexInfo* FindIndex(const Table* table, int column) const;
+  const IndexInfo* GetIndex(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<IndexInfo>> indexes_;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_CATALOG_CATALOG_H_

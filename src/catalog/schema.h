@@ -1,0 +1,56 @@
+#ifndef BUFFERDB_CATALOG_SCHEMA_H_
+#define BUFFERDB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace bufferdb {
+
+struct Column {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered column list plus the physical row layout it implies.
+///
+/// Row layout (see storage/tuple.h):
+///   [uint32 total_bytes][uint32 pad][uint64 null_bitmap]
+///   [8-byte slot per column][var data]
+/// Strings store (offset << 32 | length) in their slot; other types store the
+/// value inline. At most 64 columns per schema (enforced at construction) —
+/// enough for several joined TPC-H tables.
+class Schema {
+ public:
+  static constexpr size_t kMaxColumns = 64;
+  static constexpr size_t kHeaderBytes = 16;
+
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Bytes of the fixed-size part of a row (header + slots).
+  size_t fixed_bytes() const { return kHeaderBytes + 8 * columns_.size(); }
+
+  /// Join-output schema: columns of `left` followed by columns of `right`.
+  /// Duplicate names are disambiguated with the given prefixes when both
+  /// sides contain the same name.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_CATALOG_SCHEMA_H_

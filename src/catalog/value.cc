@@ -1,0 +1,78 @@
+#include "catalog/value.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/date.h"
+
+namespace bufferdb {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble ||
+         type == DataType::kDate || type == DataType::kBool;
+}
+
+double Value::AsDouble() const {
+  if (type_ == DataType::kDouble) return f64_;
+  return static_cast<double>(i64_);
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  assert(!a.is_null() && !b.is_null());
+  if (a.type() == DataType::kString || b.type() == DataType::kString) {
+    assert(a.type() == DataType::kString && b.type() == DataType::kString);
+    return a.str_.compare(b.str_) < 0 ? -1 : (a.str_ == b.str_ ? 0 : 1);
+  }
+  if (a.type() == DataType::kDouble || b.type() == DataType::kDouble) {
+    double x = a.AsDouble(), y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  return a.i64_ < b.i64_ ? -1 : (a.i64_ > b.i64_ ? 1 : 0);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null_ || other.is_null_) return is_null_ == other.is_null_;
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    return type_ == other.type_ && str_ == other.str_;
+  }
+  return Compare(*this, other) == 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  char buf[64];
+  switch (type_) {
+    case DataType::kBool:
+      return i64_ != 0 ? "true" : "false";
+    case DataType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(i64_));
+      return buf;
+    case DataType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.4f", f64_);
+      return buf;
+    case DataType::kDate:
+      return DateToString(i64_);
+    case DataType::kString:
+      return str_;
+  }
+  return "?";
+}
+
+}  // namespace bufferdb

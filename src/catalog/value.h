@@ -1,0 +1,101 @@
+#ifndef BUFFERDB_CATALOG_VALUE_H_
+#define BUFFERDB_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bufferdb {
+
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt64,
+  kDouble,
+  kDate,    // Days since 1970-01-01, stored as int64.
+  kString,
+};
+
+const char* DataTypeName(DataType type);
+bool IsNumeric(DataType type);
+
+/// A single (possibly NULL) typed datum. Used at expression-evaluation and
+/// tuple-construction boundaries; tuples themselves use a packed row format
+/// (see storage/tuple.h).
+class Value {
+ public:
+  Value() : type_(DataType::kInt64), is_null_(true) {}
+
+  static Value Null(DataType type = DataType::kInt64) {
+    Value v;
+    v.type_ = type;
+    return v;
+  }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = DataType::kBool;
+    v.is_null_ = false;
+    v.i64_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int64(int64_t x) {
+    Value v;
+    v.type_ = DataType::kInt64;
+    v.is_null_ = false;
+    v.i64_ = x;
+    return v;
+  }
+  static Value Double(double x) {
+    Value v;
+    v.type_ = DataType::kDouble;
+    v.is_null_ = false;
+    v.f64_ = x;
+    return v;
+  }
+  static Value Date(int64_t days) {
+    Value v;
+    v.type_ = DataType::kDate;
+    v.is_null_ = false;
+    v.i64_ = days;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = DataType::kString;
+    v.is_null_ = false;
+    v.str_ = std::move(s);
+    return v;
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  bool bool_value() const { return i64_ != 0; }
+  int64_t int64_value() const { return i64_; }
+  double double_value() const { return f64_; }
+  int64_t date_value() const { return i64_; }
+  const std::string& string_value() const { return str_; }
+
+  /// Numeric value widened to double (int64/date/double/bool).
+  double AsDouble() const;
+
+  /// Three-way comparison; both values must be non-null and of comparable
+  /// types (numerics inter-compare; strings with strings).
+  static int Compare(const Value& a, const Value& b);
+
+  bool operator==(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  bool is_null_ = true;
+  union {
+    int64_t i64_ = 0;
+    double f64_;
+  };
+  std::string str_;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_CATALOG_VALUE_H_

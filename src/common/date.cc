@@ -1,0 +1,56 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace bufferdb {
+
+// Civil-day algorithms from Howard Hinnant's date algorithms
+// (public-domain formulation).
+int64_t MakeDate(int year, int month, int day) {
+  int y = year;
+  if (month <= 2) y -= 1;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(day) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+
+void DateToYmd(int64_t days, int* year, int* month, int* day) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+std::string DateToString(int64_t days) {
+  int y, m, d;
+  DateToYmd(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+Result<int64_t> ParseDate(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return Status::ParseError("bad date literal: " + text);
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::ParseError("date out of range: " + text);
+  }
+  return MakeDate(y, m, d);
+}
+
+}  // namespace bufferdb

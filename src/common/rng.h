@@ -1,0 +1,49 @@
+#ifndef BUFFERDB_COMMON_RNG_H_
+#define BUFFERDB_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace bufferdb {
+
+/// SplitMix64 mixing function. Used both as a PRNG step and as a stateless
+/// hash for deterministic per-site branch outcome streams in the simulator.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic 64-bit PRNG (xorshift-star seeded via SplitMix64).
+/// Deterministic across platforms so TPC-H data and simulator branch
+/// outcomes are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(SplitMix64(seed ^ 0xdeadbeefULL)) {
+    if (state_ == 0) state_ = 0x853c49e6748fea9bULL;
+  }
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_COMMON_RNG_H_

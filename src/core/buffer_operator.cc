@@ -1,0 +1,73 @@
+#include "core/buffer_operator.h"
+
+#include <cstring>
+
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+BufferOperator::BufferOperator(OperatorPtr child, size_t buffer_size,
+                               bool copy_tuples)
+    : buffer_size_(buffer_size == 0 ? 1 : buffer_size),
+      copy_tuples_(copy_tuples) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+}
+
+Status BufferOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  buffer_.assign(buffer_size_, nullptr);
+  pos_ = 0;
+  filled_ = 0;
+  end_of_tuples_ = false;
+  refills_ = 0;
+  return child(0)->Open(ctx);
+}
+
+void BufferOperator::Refill() {
+  ++refills_;
+  pos_ = 0;
+  filled_ = 0;
+  const Schema& schema = child(0)->output_schema();
+  while (filled_ < buffer_size_) {
+    const uint8_t* tuple = child(0)->Next();
+    if (tuple == nullptr) {
+      end_of_tuples_ = true;
+      break;
+    }
+    if (copy_tuples_) {
+      // Ablation: copy the tuple bytes instead of storing a pointer.
+      TupleView view(tuple, &schema);
+      uint8_t* copy = ctx_->arena.Allocate(view.size_bytes());
+      std::memcpy(copy, tuple, view.size_bytes());
+      ctx_->Touch(copy, view.size_bytes());
+      tuple = copy;
+    }
+    buffer_[filled_] = tuple;
+    ctx_->Touch(&buffer_[filled_], sizeof(const uint8_t*));
+    ++filled_;
+  }
+}
+
+const uint8_t* BufferOperator::Next() {
+  // GetNext() per the paper's Fig. 6 pseudocode.
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  if (pos_ >= filled_) {
+    if (end_of_tuples_) return nullptr;
+    Refill();
+    if (filled_ == 0) return nullptr;
+  }
+  ctx_->Touch(&buffer_[pos_], sizeof(const uint8_t*));
+  return buffer_[pos_++];
+}
+
+void BufferOperator::Close() {
+  buffer_.clear();
+  child(0)->Close();
+}
+
+std::string BufferOperator::label() const {
+  return "Buffer(" + std::to_string(buffer_size_) + ")";
+}
+
+}  // namespace bufferdb

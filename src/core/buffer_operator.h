@@ -1,0 +1,61 @@
+#ifndef BUFFERDB_CORE_BUFFER_OPERATOR_H_
+#define BUFFERDB_CORE_BUFFER_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace bufferdb {
+
+/// The paper's light-weight buffer operator (§5, Fig. 6).
+///
+/// Implements the standard open-next-close interface. On demand it drains up
+/// to `buffer_size` tuple *pointers* from its child into an array, then
+/// serves subsequent GetNext() calls from the array without executing any
+/// child code. This turns the per-tuple parent/child instruction
+/// interleaving `PCPCPC...` into `PCC...CPP...P` (Fig. 1), restoring
+/// instruction-cache temporal locality below and above it.
+///
+/// Tuples are not copied — only pointers are stored (copying would "reduce
+/// the benefit of buffering instructions"); the tuples live in the query
+/// arena / base tables until the query completes. `copy_tuples` enables the
+/// copying variant as an ablation.
+class BufferOperator final : public Operator {
+ public:
+  static constexpr size_t kDefaultBufferSize = 1000;
+
+  explicit BufferOperator(OperatorPtr child,
+                          size_t buffer_size = kDefaultBufferSize,
+                          bool copy_tuples = false);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+
+  const Schema& output_schema() const override {
+    return child(0)->output_schema();
+  }
+  sim::ModuleId module_id() const override { return sim::ModuleId::kBuffer; }
+  std::string label() const override;
+
+  size_t buffer_size() const { return buffer_size_; }
+  /// Number of times the array was (re)filled from the child.
+  uint64_t refills() const { return refills_; }
+
+ private:
+  void Refill();
+
+  size_t buffer_size_;
+  bool copy_tuples_;
+  std::vector<const uint8_t*> buffer_;
+  size_t pos_ = 0;
+  size_t filled_ = 0;
+  bool end_of_tuples_ = false;
+  uint64_t refills_ = 0;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_CORE_BUFFER_OPERATOR_H_

@@ -1,0 +1,120 @@
+#include "core/threshold_calibration.h"
+
+#include <cassert>
+#include <cstdio>
+#include <memory>
+
+#include "core/buffer_operator.h"
+#include "exec/aggregation.h"
+#include "exec/seq_scan.h"
+#include "profile/calibration_queries.h"
+
+namespace bufferdb {
+
+namespace {
+
+ExprPtr Col(const Schema& schema, const std::string& name) {
+  auto r = MakeColumnRef(schema, name);
+  assert(r.ok());
+  return std::move(*r);
+}
+
+ExprPtr Bin(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto res = MakeBinary(op, std::move(l), std::move(r));
+  assert(res.ok());
+  return std::move(*res);
+}
+
+// SUM(price * (1 - discount) * (1 + tax)), AVG(quantity), COUNT(*) —
+// the paper's Query 1 aggregate list.
+std::vector<AggSpec> Query1Aggregates(const Schema& schema) {
+  std::vector<AggSpec> specs;
+  ExprPtr charge = Bin(
+      BinaryOp::kMul,
+      Bin(BinaryOp::kMul, Col(schema, "price"),
+          Bin(BinaryOp::kSub, MakeLiteral(Value::Double(1.0)),
+              Col(schema, "discount"))),
+      Bin(BinaryOp::kAdd, MakeLiteral(Value::Double(1.0)),
+          Col(schema, "tax")));
+  specs.push_back(AggSpec{AggFunc::kSum, std::move(charge), "sum_charge"});
+  specs.push_back(AggSpec{AggFunc::kAvg, Col(schema, "quantity"), "avg_qty"});
+  specs.push_back(AggSpec{AggFunc::kCountStar, nullptr, "count_order"});
+  return specs;
+}
+
+double RunTemplate(Table* table, double selectivity, bool buffered,
+                   const sim::SimConfig& config, size_t buffer_size) {
+  const Schema& schema = table->schema();
+  OperatorPtr plan = std::make_unique<SeqScanOperator>(
+      table, Bin(BinaryOp::kLe, Col(schema, "sel"),
+                 MakeLiteral(Value::Double(selectivity))));
+  if (buffered) {
+    plan = std::make_unique<BufferOperator>(std::move(plan), buffer_size);
+  }
+  plan = std::make_unique<AggregationOperator>(std::move(plan),
+                                               Query1Aggregates(schema));
+  sim::SimCpu cpu(config);
+  ExecContext ctx;
+  ctx.cpu = &cpu;
+  auto rows = ExecutePlan(plan.get(), &ctx);
+  assert(rows.ok() && rows->size() == 1);
+  (void)rows;
+  return cpu.Breakdown().seconds();
+}
+
+}  // namespace
+
+std::string ThresholdCalibrationResult::ToString() const {
+  std::string out = "cardinality calibration (threshold = " +
+                    std::to_string(threshold) + ")\n";
+  out += "  cardinality   original(s)   buffered(s)   winner\n";
+  for (const CalibrationPoint& p : points) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %11.0f   %11.6f   %11.6f   %s\n",
+                  p.cardinality, p.original_seconds, p.buffered_seconds,
+                  p.buffered_seconds < p.original_seconds ? "buffered"
+                                                          : "original");
+    out += line;
+  }
+  return out;
+}
+
+ThresholdCalibrationResult CalibrateCardinalityThreshold(
+    const sim::SimConfig& config, size_t buffer_size, size_t table_rows) {
+  std::unique_ptr<Table> table =
+      profile::BuildSyntheticItems(table_rows, /*seed=*/42);
+
+  ThresholdCalibrationResult result;
+  double cardinalities[] = {2,   4,    8,    16,   32,   64,  128,
+                            256, 512,  1024, 2048, 4096, 8192};
+  for (double card : cardinalities) {
+    if (card > static_cast<double>(table_rows)) break;
+    double selectivity = card / static_cast<double>(table_rows);
+    CalibrationPoint point;
+    point.cardinality = card;
+    point.original_seconds =
+        RunTemplate(table.get(), selectivity, /*buffered=*/false, config,
+                    buffer_size);
+    point.buffered_seconds =
+        RunTemplate(table.get(), selectivity, /*buffered=*/true, config,
+                    buffer_size);
+    result.points.push_back(point);
+  }
+
+  // Threshold: smallest cardinality from which the buffered plan stays
+  // ahead for the rest of the sweep.
+  result.threshold = result.points.empty()
+                         ? 0
+                         : result.points.back().cardinality + 1;
+  for (size_t i = result.points.size(); i-- > 0;) {
+    const CalibrationPoint& p = result.points[i];
+    if (p.buffered_seconds < p.original_seconds) {
+      result.threshold = p.cardinality;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,45 @@
+#ifndef BUFFERDB_CORE_THRESHOLD_CALIBRATION_H_
+#define BUFFERDB_CORE_THRESHOLD_CALIBRATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace bufferdb {
+
+/// One sweep point of the cardinality calibration experiment (§6, §7.3):
+/// the Query-1 template executed with and without a buffer operator at a
+/// given child output cardinality.
+struct CalibrationPoint {
+  double cardinality = 0;
+  double original_seconds = 0;
+  double buffered_seconds = 0;
+};
+
+struct ThresholdCalibrationResult {
+  /// Smallest swept cardinality from which buffered plans stay faster; the
+  /// refiner's cardinality threshold.
+  double threshold = 0;
+  std::vector<CalibrationPoint> points;
+
+  std::string ToString() const;
+};
+
+/// Runs the paper's calibration experiment: a Query-1-like plan
+/// (Aggregation over a filtered Scan, the two-operator pipeline whose
+/// combined footprint exceeds L1-I) is executed at a range of output
+/// cardinalities, buffered and unbuffered, on the CPU simulator. "The
+/// cardinality at which the buffered plan begins to beat the unbuffered plan
+/// [is] the cardinality threshold for buffering."
+///
+/// `table_rows` is the size of the synthetic input table; output cardinality
+/// is controlled through predicate selectivity, as in the paper.
+ThresholdCalibrationResult CalibrateCardinalityThreshold(
+    const sim::SimConfig& config = sim::SimConfig(), size_t buffer_size = 1000,
+    size_t table_rows = 20000);
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_CORE_THRESHOLD_CALIBRATION_H_

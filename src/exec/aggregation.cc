@@ -1,0 +1,188 @@
+#include "exec/aggregation.h"
+
+#include <algorithm>
+
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+DataType AggOutputType(AggFunc func, DataType arg_type) {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return DataType::kInt64;
+    case AggFunc::kSum:
+      return arg_type == DataType::kDouble ? DataType::kDouble
+                                           : DataType::kInt64;
+    case AggFunc::kAvg:
+      return DataType::kDouble;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return arg_type;
+  }
+  return DataType::kInt64;
+}
+
+void AggAccumulator::Update(AggFunc func, const Value& v) {
+  if (func == AggFunc::kCountStar) {
+    ++count;
+    return;
+  }
+  if (v.is_null()) return;
+  switch (func) {
+    case AggFunc::kCount:
+      ++count;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      ++count;
+      if (v.type() == DataType::kDouble) {
+        double_sum += v.double_value();
+      } else {
+        int_sum += v.int64_value();
+        double_sum += static_cast<double>(v.int64_value());
+      }
+      break;
+    case AggFunc::kMin:
+      if (count == 0 || Value::Compare(v, extremum) < 0) extremum = v;
+      ++count;
+      break;
+    case AggFunc::kMax:
+      if (count == 0 || Value::Compare(v, extremum) > 0) extremum = v;
+      ++count;
+      break;
+    case AggFunc::kCountStar:
+      break;
+  }
+}
+
+Value AggAccumulator::Final(AggFunc func, DataType output_type) const {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int64(count);
+    case AggFunc::kSum:
+      if (count == 0) return Value::Null(output_type);
+      return output_type == DataType::kDouble ? Value::Double(double_sum)
+                                              : Value::Int64(int_sum);
+    case AggFunc::kAvg:
+      if (count == 0) return Value::Null(DataType::kDouble);
+      return Value::Double(double_sum / static_cast<double>(count));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      if (count == 0) return Value::Null(output_type);
+      return extremum;
+  }
+  return Value();
+}
+
+void AppendAggFuncs(AggFunc func, std::vector<sim::FuncId>* funcs) {
+  auto add = [funcs](sim::FuncId f) {
+    if (std::find(funcs->begin(), funcs->end(), f) == funcs->end()) {
+      funcs->push_back(f);
+    }
+  };
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      add(sim::FuncId::kAggCount);
+      break;
+    case AggFunc::kSum:
+      add(sim::FuncId::kAggSum);
+      break;
+    case AggFunc::kAvg:
+      add(sim::FuncId::kAggSum);
+      add(sim::FuncId::kAggAvgExtra);
+      break;
+    case AggFunc::kMin:
+      add(sim::FuncId::kAggMin);
+      break;
+    case AggFunc::kMax:
+      add(sim::FuncId::kAggMax);
+      break;
+  }
+}
+
+AggregationOperator::AggregationOperator(OperatorPtr child,
+                                         std::vector<AggSpec> specs)
+    : specs_(std::move(specs)) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+  std::vector<Column> cols;
+  for (const AggSpec& spec : specs_) {
+    AppendAggFuncs(spec.func, &hot_funcs_);
+    DataType arg_type =
+        spec.arg != nullptr ? spec.arg->result_type() : DataType::kInt64;
+    cols.push_back(Column{spec.output_name, AggOutputType(spec.func, arg_type)});
+  }
+  output_schema_ = Schema(std::move(cols));
+}
+
+Status AggregationOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  done_ = false;
+  return child(0)->Open(ctx);
+}
+
+const uint8_t* AggregationOperator::Next() {
+  if (done_) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    return nullptr;
+  }
+  const Schema& in_schema = child(0)->output_schema();
+  std::vector<AggAccumulator> accs(specs_.size());
+  while (const uint8_t* row = child(0)->Next()) {
+    // One aggregation-module execution per input tuple: this is the
+    // per-tuple interleaving with the child that buffering removes.
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    TupleView view(row, &in_schema);
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      Value v = specs_[i].arg != nullptr ? specs_[i].arg->Evaluate(view)
+                                         : Value();
+      accs[i].Update(specs_[i].func, v);
+    }
+  }
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  TupleBuilder builder(&output_schema_);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    builder.Set(i, accs[i].Final(specs_[i].func,
+                                 output_schema_.column(i).type));
+  }
+  const uint8_t* out = builder.Finish(&ctx_->arena);
+  ctx_->Touch(out, TupleView(out, &output_schema_).size_bytes());
+  done_ = true;
+  return out;
+}
+
+void AggregationOperator::Close() { child(0)->Close(); }
+
+std::string AggregationOperator::label() const {
+  std::string out = "Agg(";
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AggFuncName(specs_[i].func);
+    if (specs_[i].arg != nullptr) out += "(" + specs_[i].arg->ToString() + ")";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace bufferdb

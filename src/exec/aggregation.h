@@ -1,0 +1,79 @@
+#ifndef BUFFERDB_EXEC_AGGREGATION_H_
+#define BUFFERDB_EXEC_AGGREGATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace bufferdb {
+
+enum class AggFunc : uint8_t {
+  kCountStar,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+const char* AggFuncName(AggFunc func);
+
+/// One aggregate in the SELECT list, e.g. SUM(l_extendedprice * (1 - ...)).
+struct AggSpec {
+  AggFunc func;
+  ExprPtr arg;  // Null for COUNT(*).
+  std::string output_name;
+};
+
+/// Output column type of an aggregate over an argument of type `arg_type`.
+DataType AggOutputType(AggFunc func, DataType arg_type);
+
+/// Running state for a single aggregate (SQL semantics: NULL inputs are
+/// ignored; empty input yields NULL except COUNT which yields 0).
+struct AggAccumulator {
+  int64_t count = 0;
+  int64_t int_sum = 0;
+  double double_sum = 0;
+  Value extremum;  // MIN/MAX running value.
+
+  void Update(AggFunc func, const Value& v);
+  Value Final(AggFunc func, DataType output_type) const;
+};
+
+/// Scalar (ungrouped) aggregation: consumes the whole input, emits exactly
+/// one row. Instruction-wise it interleaves with its input per tuple, so the
+/// refiner treats it as part of the pipeline (it is *not* a pipeline breaker
+/// in the paper's sense; compare Fig. 5 where Scan and Aggregation form
+/// candidate execution groups).
+class AggregationOperator final : public Operator {
+ public:
+  AggregationOperator(OperatorPtr child, std::vector<AggSpec> specs);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+
+  const Schema& output_schema() const override { return output_schema_; }
+  sim::ModuleId module_id() const override {
+    return sim::ModuleId::kAggregation;
+  }
+  std::string label() const override;
+
+  const std::vector<AggSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<AggSpec> specs_;
+  Schema output_schema_;
+  bool done_ = false;
+};
+
+/// Appends the simulator functions an aggregate contributes to the module
+/// footprint (AVG adds SUM's code plus its own, per Table 2 calibration).
+void AppendAggFuncs(AggFunc func, std::vector<sim::FuncId>* funcs);
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_AGGREGATION_H_

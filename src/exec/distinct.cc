@@ -1,0 +1,64 @@
+#include "exec/distinct.h"
+
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+namespace {
+
+// Canonical byte encoding of a row for equality purposes (two rows with
+// equal column values encode identically; NULLs are tagged).
+std::string EncodeRow(const TupleView& view) {
+  std::string key;
+  const Schema& schema = view.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (view.IsNull(c)) {
+      key.push_back('\1');
+      continue;
+    }
+    key.push_back('\0');
+    if (schema.column(c).type == DataType::kString) {
+      std::string_view s = view.GetString(c);
+      uint32_t n = static_cast<uint32_t>(s.size());
+      key.append(reinterpret_cast<const char*>(&n), 4);
+      key.append(s);
+    } else {
+      int64_t raw = view.GetInt64(c);  // Bit-copy works for all fixed types.
+      key.append(reinterpret_cast<const char*>(&raw), 8);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+DistinctOperator::DistinctOperator(OperatorPtr child) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+}
+
+Status DistinctOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  seen_.clear();
+  return child(0)->Open(ctx);
+}
+
+const uint8_t* DistinctOperator::Next() {
+  const Schema& schema = child(0)->output_schema();
+  while (const uint8_t* row = child(0)->Next()) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    TupleView view(row, &schema);
+    auto [it, inserted] = seen_.insert(EncodeRow(view));
+    ctx_->Touch(it->data(), it->size());
+    if (inserted) return row;
+  }
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  return nullptr;
+}
+
+void DistinctOperator::Close() {
+  seen_.clear();
+  child(0)->Close();
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,36 @@
+#ifndef BUFFERDB_EXEC_DISTINCT_H_
+#define BUFFERDB_EXEC_DISTINCT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "exec/operator.h"
+
+namespace bufferdb {
+
+/// Hash-based duplicate elimination over whole rows (SELECT DISTINCT).
+/// Pipelined: each first occurrence flows through immediately.
+class DistinctOperator final : public Operator {
+ public:
+  explicit DistinctOperator(OperatorPtr child);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+
+  const Schema& output_schema() const override {
+    return child(0)->output_schema();
+  }
+  sim::ModuleId module_id() const override { return sim::ModuleId::kDistinct; }
+  std::string label() const override { return "Distinct"; }
+
+  size_t num_distinct() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_DISTINCT_H_

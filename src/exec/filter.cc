@@ -1,0 +1,35 @@
+#include "exec/filter.h"
+
+#include "expr/evaluator.h"
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate)
+    : predicate_(std::move(predicate)) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+}
+
+Status FilterOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child(0)->Open(ctx);
+}
+
+const uint8_t* FilterOperator::Next() {
+  const Schema& schema = child(0)->output_schema();
+  while (const uint8_t* row = child(0)->Next()) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    if (EvaluatePredicate(*predicate_, TupleView(row, &schema))) return row;
+  }
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  return nullptr;
+}
+
+void FilterOperator::Close() { child(0)->Close(); }
+
+std::string FilterOperator::label() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+}  // namespace bufferdb

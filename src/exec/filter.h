@@ -1,0 +1,37 @@
+#ifndef BUFFERDB_EXEC_FILTER_H_
+#define BUFFERDB_EXEC_FILTER_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace bufferdb {
+
+/// Standalone selection: passes through rows for which `predicate` is
+/// non-NULL true. Used by the planner for HAVING clauses and predicates
+/// that cannot be pushed into a scan.
+class FilterOperator final : public Operator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+
+  const Schema& output_schema() const override {
+    return child(0)->output_schema();
+  }
+  sim::ModuleId module_id() const override { return sim::ModuleId::kFilter; }
+  std::string label() const override;
+
+  const Expression& predicate() const { return *predicate_; }
+
+ private:
+  ExprPtr predicate_;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_FILTER_H_

@@ -1,0 +1,121 @@
+#include "exec/hash_aggregation.h"
+
+#include <cstring>
+
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+namespace {
+
+// Serializes group-key values into a hashable byte string.
+std::string SerializeKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    key.push_back(static_cast<char>(v.type()));
+    key.push_back(v.is_null() ? 1 : 0);
+    if (v.is_null()) continue;
+    if (v.type() == DataType::kString) {
+      uint32_t n = static_cast<uint32_t>(v.string_value().size());
+      key.append(reinterpret_cast<const char*>(&n), 4);
+      key.append(v.string_value());
+    } else if (v.type() == DataType::kDouble) {
+      double d = v.double_value();
+      key.append(reinterpret_cast<const char*>(&d), 8);
+    } else {
+      int64_t i = v.int64_value();
+      key.append(reinterpret_cast<const char*>(&i), 8);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+HashAggregationOperator::HashAggregationOperator(OperatorPtr child,
+                                                 std::vector<GroupKeyExpr> groups,
+                                                 std::vector<AggSpec> specs)
+    : groups_(std::move(groups)), specs_(std::move(specs)) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+  std::vector<Column> cols;
+  for (const GroupKeyExpr& g : groups_) {
+    cols.push_back(Column{g.output_name, g.expr->result_type()});
+  }
+  for (const AggSpec& spec : specs_) {
+    AppendAggFuncs(spec.func, &hot_funcs_);
+    DataType arg_type =
+        spec.arg != nullptr ? spec.arg->result_type() : DataType::kInt64;
+    cols.push_back(Column{spec.output_name, AggOutputType(spec.func, arg_type)});
+  }
+  output_schema_ = Schema(std::move(cols));
+}
+
+Status HashAggregationOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  table_.clear();
+  loaded_ = false;
+  return child(0)->Open(ctx);
+}
+
+const uint8_t* HashAggregationOperator::Next() {
+  const Schema& in_schema = child(0)->output_schema();
+  if (!loaded_) {
+    std::vector<Value> key_values(groups_.size());
+    while (const uint8_t* row = child(0)->Next()) {
+      ctx_->ExecModule(module_id(), hot_funcs_);
+      TupleView view(row, &in_schema);
+      for (size_t i = 0; i < groups_.size(); ++i) {
+        key_values[i] = groups_[i].expr->Evaluate(view);
+      }
+      std::string key = SerializeKey(key_values);
+      auto [it, inserted] = table_.try_emplace(key);
+      GroupState& state = it->second;
+      if (inserted) {
+        state.group_values = key_values;
+        state.accs.resize(specs_.size());
+      }
+      ctx_->Touch(&state, sizeof(GroupState));
+      for (size_t i = 0; i < specs_.size(); ++i) {
+        Value v = specs_[i].arg != nullptr ? specs_[i].arg->Evaluate(view)
+                                           : Value();
+        state.accs[i].Update(specs_[i].func, v);
+      }
+    }
+    loaded_ = true;
+    emit_it_ = table_.begin();
+  }
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  if (emit_it_ == table_.end()) return nullptr;
+  const GroupState& state = emit_it_->second;
+  ++emit_it_;
+  TupleBuilder builder(&output_schema_);
+  size_t col = 0;
+  for (const Value& v : state.group_values) builder.Set(col++, v);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    builder.Set(col, state.accs[i].Final(specs_[i].func,
+                                         output_schema_.column(col).type));
+    ++col;
+  }
+  const uint8_t* out = builder.Finish(&ctx_->arena);
+  ctx_->Touch(out, TupleView(out, &output_schema_).size_bytes());
+  return out;
+}
+
+void HashAggregationOperator::Close() {
+  table_.clear();
+  loaded_ = false;
+  child(0)->Close();
+}
+
+std::string HashAggregationOperator::label() const {
+  std::string out = "HashAgg(by ";
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += groups_[i].output_name;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace bufferdb

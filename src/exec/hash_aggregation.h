@@ -1,0 +1,55 @@
+#ifndef BUFFERDB_EXEC_HASH_AGGREGATION_H_
+#define BUFFERDB_EXEC_HASH_AGGREGATION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/aggregation.h"
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace bufferdb {
+
+struct GroupKeyExpr {
+  ExprPtr expr;
+  std::string output_name;
+};
+
+/// GROUP BY aggregation over an in-memory hash table. Like scalar
+/// aggregation it interleaves with its input per tuple (the hash table is
+/// its own, separate data structure), so it participates in execution
+/// groups; output order is unspecified.
+class HashAggregationOperator final : public Operator {
+ public:
+  HashAggregationOperator(OperatorPtr child, std::vector<GroupKeyExpr> groups,
+                          std::vector<AggSpec> specs);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+
+  const Schema& output_schema() const override { return output_schema_; }
+  sim::ModuleId module_id() const override {
+    return sim::ModuleId::kHashAggregation;
+  }
+  std::string label() const override;
+
+ private:
+  struct GroupState {
+    std::vector<Value> group_values;
+    std::vector<AggAccumulator> accs;
+  };
+
+  std::vector<GroupKeyExpr> groups_;
+  std::vector<AggSpec> specs_;
+  Schema output_schema_;
+  std::unordered_map<std::string, GroupState> table_;
+  std::unordered_map<std::string, GroupState>::iterator emit_it_;
+  bool loaded_ = false;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_HASH_AGGREGATION_H_

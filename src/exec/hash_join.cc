@@ -1,0 +1,118 @@
+#include "exec/hash_join.h"
+
+#include "common/rng.h"
+#include "expr/evaluator.h"
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
+                                   ExprPtr probe_key, ExprPtr build_key,
+                                   ExprPtr residual_predicate)
+    : probe_key_(std::move(probe_key)),
+      build_key_(std::move(build_key)),
+      residual_predicate_(std::move(residual_predicate)) {
+  output_schema_ =
+      Schema::Concat(probe->output_schema(), build->output_schema());
+  AddChild(std::move(probe));
+  AddChild(std::move(build));
+  InitHotFuncs(module_id());
+  if (residual_predicate_ != nullptr) AddHotFunc(sim::FuncId::kExprArith);
+  for (sim::FuncId f : sim::ModuleBaseFuncs(sim::ModuleId::kHashJoinBuild)) {
+    build_funcs_.push_back(f);
+  }
+}
+
+int32_t* HashJoinOperator::BucketFor(int64_t key) {
+  uint64_t h = SplitMix64(static_cast<uint64_t>(key));
+  return &buckets_[h & (buckets_.size() - 1)];
+}
+
+Status HashJoinOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  BUFFERDB_RETURN_IF_ERROR(child(0)->Open(ctx));
+  BUFFERDB_RETURN_IF_ERROR(child(1)->Open(ctx));
+  probe_row_ = nullptr;
+  chain_ = -1;
+
+  if (!built_) {
+    const Schema& build_schema = child(1)->output_schema();
+    // Size the table to a power of two >= 2x the build cardinality when
+    // known; grow-by-rehash otherwise.
+    size_t capacity = 1024;
+    double est = child(1)->estimated_rows();
+    if (est > 0) {
+      while (capacity < 2 * static_cast<size_t>(est)) capacity <<= 1;
+    }
+    buckets_.assign(capacity, -1);
+    while (const uint8_t* row = child(1)->Next()) {
+      ctx_->ExecModule(sim::ModuleId::kHashJoinBuild, build_funcs_);
+      TupleView view(row, &build_schema);
+      Value key = build_key_->Evaluate(view);
+      if (key.is_null()) continue;  // NULL keys never match.
+      if (nodes_.size() + 1 > buckets_.size() / 2) {
+        // Rehash into a table twice the size.
+        std::vector<int32_t> old = std::move(buckets_);
+        buckets_.assign(old.size() * 2, -1);
+        for (int32_t i = 0; i < static_cast<int32_t>(nodes_.size()); ++i) {
+          int32_t* bucket = BucketFor(nodes_[i].key);
+          nodes_[i].next = *bucket;
+          *bucket = i;
+        }
+      }
+      int32_t* bucket = BucketFor(key.int64_value());
+      nodes_.push_back(Node{key.int64_value(), row, *bucket});
+      *bucket = static_cast<int32_t>(nodes_.size() - 1);
+      ctx_->Touch(bucket, sizeof(int32_t));
+      ctx_->Touch(&nodes_.back(), sizeof(Node));
+    }
+    built_ = true;
+  }
+  return Status::OK();
+}
+
+const uint8_t* HashJoinOperator::Next() {
+  const Schema& probe_schema = child(0)->output_schema();
+  const Schema& build_schema = child(1)->output_schema();
+  while (true) {
+    // Walk the current chain for further matches.
+    while (chain_ >= 0) {
+      const Node& node = nodes_[chain_];
+      ctx_->Touch(&node, sizeof(Node));
+      int32_t current = chain_;
+      chain_ = node.next;
+      if (nodes_[current].key != probe_key_value_) continue;
+      ctx_->ExecModule(module_id(), hot_funcs_);
+      const uint8_t* combined = TupleBuilder::ConcatRows(
+          output_schema_, probe_schema, probe_row_, build_schema,
+          nodes_[current].row, &ctx_->arena);
+      TupleView view(combined, &output_schema_);
+      ctx_->Touch(combined, view.size_bytes());
+      if (residual_predicate_ == nullptr ||
+          EvaluatePredicate(*residual_predicate_, view)) {
+        return combined;
+      }
+    }
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    probe_row_ = child(0)->Next();
+    if (probe_row_ == nullptr) return nullptr;
+    TupleView view(probe_row_, &probe_schema);
+    Value key = probe_key_->Evaluate(view);
+    if (key.is_null()) continue;
+    probe_key_value_ = key.int64_value();
+    int32_t* bucket = BucketFor(probe_key_value_);
+    ctx_->Touch(bucket, sizeof(int32_t));
+    chain_ = *bucket;
+  }
+}
+
+void HashJoinOperator::Close() {
+  buckets_.clear();
+  nodes_.clear();
+  built_ = false;
+  chain_ = -1;
+  child(0)->Close();
+  child(1)->Close();
+}
+
+}  // namespace bufferdb

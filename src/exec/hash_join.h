@@ -1,0 +1,63 @@
+#ifndef BUFFERDB_EXEC_HASH_JOIN_H_
+#define BUFFERDB_EXEC_HASH_JOIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace bufferdb {
+
+/// In-memory equi-hash-join. The build phase (child 1) runs during Open and
+/// is blocking; the probe phase streams child 0. Build and probe are
+/// separate instruction-footprint modules, matching the paper's Table 2
+/// ("we treat build and probe phases of a HashJoin operator as two separate
+/// modules"). module_id() reports the probe module — the code that runs
+/// per pipeline tuple.
+class HashJoinOperator final : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr probe, OperatorPtr build, ExprPtr probe_key,
+                   ExprPtr build_key, ExprPtr residual_predicate = nullptr);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+
+  const Schema& output_schema() const override { return output_schema_; }
+  sim::ModuleId module_id() const override {
+    return sim::ModuleId::kHashJoinProbe;
+  }
+  bool BlocksInput(size_t i) const override { return i == 1; }
+  std::string label() const override { return "HashJoin"; }
+
+  size_t build_size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int64_t key;
+    const uint8_t* row;
+    int32_t next;  // Index into nodes_, or -1.
+  };
+
+  int32_t* BucketFor(int64_t key);
+
+  ExprPtr probe_key_;
+  ExprPtr build_key_;
+  ExprPtr residual_predicate_;
+  Schema output_schema_;
+  std::vector<sim::FuncId> build_funcs_;
+
+  std::vector<int32_t> buckets_;
+  std::vector<Node> nodes_;
+  const uint8_t* probe_row_ = nullptr;
+  int64_t probe_key_value_ = 0;
+  int32_t chain_ = -1;
+  bool built_ = false;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_HASH_JOIN_H_

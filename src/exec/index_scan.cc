@@ -1,0 +1,81 @@
+#include "exec/index_scan.h"
+
+#include "expr/evaluator.h"
+
+namespace bufferdb {
+
+namespace {
+// Approximate bytes charged to the data cache per touched B+-tree node.
+constexpr size_t kNodeTouchBytes = 512;
+}  // namespace
+
+IndexScanOperator::IndexScanOperator(const IndexInfo* index,
+                                     std::optional<int64_t> lo_key,
+                                     std::optional<int64_t> hi_key,
+                                     ExprPtr residual_predicate)
+    : index_(index),
+      lo_key_(lo_key),
+      hi_key_(hi_key),
+      residual_predicate_(std::move(residual_predicate)) {
+  InitHotFuncs(module_id());
+  if (residual_predicate_ != nullptr) {
+    AddHotFunc(sim::FuncId::kExprCmp);
+    AddHotFunc(sim::FuncId::kExprArith);
+  }
+}
+
+void IndexScanOperator::BindEqualKey(int64_t key) { equal_key_ = key; }
+
+void IndexScanOperator::Position() {
+  touched_nodes_.clear();
+  const BTree& tree = *index_->btree;
+  if (equal_key_.has_value()) {
+    it_ = tree.Seek(*equal_key_, &touched_nodes_);
+  } else if (lo_key_.has_value()) {
+    it_ = tree.Seek(*lo_key_, &touched_nodes_);
+  } else {
+    it_ = tree.Begin();
+  }
+  for (const void* node : touched_nodes_) {
+    ctx_->Touch(node, kNodeTouchBytes);
+  }
+}
+
+Status IndexScanOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  Position();
+  return Status::OK();
+}
+
+const uint8_t* IndexScanOperator::Next() {
+  const Schema& schema = index_->table->schema();
+  while (it_.Valid()) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    if (equal_key_.has_value() && it_.key() != *equal_key_) break;
+    if (hi_key_.has_value() && it_.key() > *hi_key_) break;
+    const uint8_t* row = it_.row();
+    ctx_->Touch(it_.node_address(), kNodeTouchBytes);
+    it_.Next();
+    TupleView view(row, &schema);
+    ctx_->Touch(row, view.size_bytes());
+    if (residual_predicate_ == nullptr ||
+        EvaluatePredicate(*residual_predicate_, view)) {
+      return row;
+    }
+  }
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  return nullptr;
+}
+
+void IndexScanOperator::Close() {}
+
+Status IndexScanOperator::Rescan() {
+  Position();
+  return Status::OK();
+}
+
+std::string IndexScanOperator::label() const {
+  return "IndexScan(" + index_->name + ")";
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,52 @@
+#ifndef BUFFERDB_EXEC_INDEX_SCAN_H_
+#define BUFFERDB_EXEC_INDEX_SCAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace bufferdb {
+
+/// B+-tree index scan over a key range [lo, hi], or over a single bound key
+/// when used as the inner of an index nested-loop join (BindEqualKey +
+/// Rescan, the Volcano "parameterized rescan" idiom).
+class IndexScanOperator final : public Operator {
+ public:
+  IndexScanOperator(const IndexInfo* index, std::optional<int64_t> lo_key,
+                    std::optional<int64_t> hi_key, ExprPtr residual_predicate);
+
+  /// Switches to equality mode; effective after the next Rescan().
+  void BindEqualKey(int64_t key);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+  Status Rescan() override;
+
+  const Schema& output_schema() const override {
+    return index_->table->schema();
+  }
+  sim::ModuleId module_id() const override { return sim::ModuleId::kIndexScan; }
+  std::string label() const override;
+
+  const IndexInfo* index() const { return index_; }
+
+ private:
+  void Position();
+
+  const IndexInfo* index_;
+  std::optional<int64_t> lo_key_;
+  std::optional<int64_t> hi_key_;
+  std::optional<int64_t> equal_key_;
+  ExprPtr residual_predicate_;
+  BTree::Iterator it_;
+  std::vector<const void*> touched_nodes_;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_INDEX_SCAN_H_

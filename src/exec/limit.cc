@@ -1,0 +1,38 @@
+#include "exec/limit.h"
+
+#include <string>
+
+namespace bufferdb {
+
+LimitOperator::LimitOperator(OperatorPtr child, size_t limit, size_t offset)
+    : limit_(limit), offset_(offset) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+}
+
+Status LimitOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  emitted_ = 0;
+  skipped_ = 0;
+  return child(0)->Open(ctx);
+}
+
+const uint8_t* LimitOperator::Next() {
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  if (emitted_ >= limit_) return nullptr;
+  while (skipped_ < offset_) {
+    if (child(0)->Next() == nullptr) return nullptr;
+    ++skipped_;
+  }
+  const uint8_t* row = child(0)->Next();
+  if (row != nullptr) ++emitted_;
+  return row;
+}
+
+void LimitOperator::Close() { child(0)->Close(); }
+
+std::string LimitOperator::label() const {
+  return "Limit(" + std::to_string(limit_) + ")";
+}
+
+}  // namespace bufferdb

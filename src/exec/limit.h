@@ -1,0 +1,34 @@
+#ifndef BUFFERDB_EXEC_LIMIT_H_
+#define BUFFERDB_EXEC_LIMIT_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+
+namespace bufferdb {
+
+/// Emits at most `limit` rows after skipping `offset`.
+class LimitOperator final : public Operator {
+ public:
+  LimitOperator(OperatorPtr child, size_t limit, size_t offset = 0);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+
+  const Schema& output_schema() const override {
+    return child(0)->output_schema();
+  }
+  sim::ModuleId module_id() const override { return sim::ModuleId::kLimit; }
+  std::string label() const override;
+
+ private:
+  size_t limit_;
+  size_t offset_;
+  size_t emitted_ = 0;
+  size_t skipped_ = 0;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_LIMIT_H_

@@ -1,0 +1,44 @@
+#include "exec/materialize.h"
+
+namespace bufferdb {
+
+MaterializeOperator::MaterializeOperator(OperatorPtr child) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+}
+
+Status MaterializeOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  if (!loaded_) {
+    BUFFERDB_RETURN_IF_ERROR(child(0)->Open(ctx));
+    while (const uint8_t* row = child(0)->Next()) {
+      ctx_->ExecModule(module_id(), hot_funcs_);
+      rows_.push_back(row);
+    }
+    loaded_ = true;
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+const uint8_t* MaterializeOperator::Next() {
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  if (pos_ >= rows_.size()) return nullptr;
+  const uint8_t* row = rows_[pos_++];
+  ctx_->Touch(row, 64);
+  return row;
+}
+
+void MaterializeOperator::Close() {
+  rows_.clear();
+  loaded_ = false;
+  pos_ = 0;
+  child(0)->Close();
+}
+
+Status MaterializeOperator::Rescan() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,42 @@
+#ifndef BUFFERDB_EXEC_MATERIALIZE_H_
+#define BUFFERDB_EXEC_MATERIALIZE_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace bufferdb {
+
+/// Blocking materialization: drains the child on Open and replays row
+/// pointers thereafter. Supports cheap Rescan, which is why it backs the
+/// inner side of a naive nested-loop join.
+class MaterializeOperator final : public Operator {
+ public:
+  explicit MaterializeOperator(OperatorPtr child);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+  Status Rescan() override;
+
+  const Schema& output_schema() const override {
+    return child(0)->output_schema();
+  }
+  sim::ModuleId module_id() const override {
+    return sim::ModuleId::kMaterialize;
+  }
+  bool BlocksInput(size_t i) const override { return i == 0; }
+  std::string label() const override { return "Materialize"; }
+
+  size_t num_buffered() const { return rows_.size(); }
+
+ private:
+  std::vector<const uint8_t*> rows_;
+  size_t pos_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_MATERIALIZE_H_

@@ -1,0 +1,45 @@
+#include "exec/operator.h"
+
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+Status Operator::Rescan() {
+  Close();
+  return Open(ctx_);
+}
+
+std::string Operator::label() const {
+  return sim::ModuleName(module_id());
+}
+
+Result<std::vector<const uint8_t*>> ExecutePlan(Operator* root,
+                                                ExecContext* ctx) {
+  BUFFERDB_RETURN_IF_ERROR(root->Open(ctx));
+  std::vector<const uint8_t*> rows;
+  while (const uint8_t* row = root->Next()) {
+    rows.push_back(row);
+  }
+  root->Close();
+  return rows;
+}
+
+Result<std::vector<std::vector<Value>>> ExecutePlanRows(Operator* root,
+                                                        ExecContext* ctx) {
+  BUFFERDB_ASSIGN_OR_RETURN(rows, ExecutePlan(root, ctx));
+  const Schema& schema = root->output_schema();
+  std::vector<std::vector<Value>> out;
+  out.reserve(rows.size());
+  for (const uint8_t* row : rows) {
+    TupleView view(row, &schema);
+    std::vector<Value> values;
+    values.reserve(schema.num_columns());
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      values.push_back(view.GetValue(c));
+    }
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,139 @@
+#ifndef BUFFERDB_EXEC_OPERATOR_H_
+#define BUFFERDB_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/arena.h"
+#include "common/status.h"
+#include "sim/sim_cpu.h"
+
+namespace bufferdb {
+
+/// Per-query execution state shared by all operators in a plan.
+///
+/// The arena owns every intermediate tuple produced during the query, which
+/// is what makes the buffer operator's pointer array safe: buffered tuples
+/// are not deallocated until the query finishes (paper §5, footnote 3).
+///
+/// `cpu` is optional; when set, operators report one ExecuteModuleCall per
+/// unit of work (one per input tuple consumed / output tuple produced) plus
+/// TouchData for the tuple bytes they access, which is how the simulated
+/// hardware counters observe the query.
+struct ExecContext {
+  sim::SimCpu* cpu = nullptr;
+  Arena arena;
+
+  void ExecModule(sim::ModuleId module, std::span<const sim::FuncId> funcs) {
+    if (cpu != nullptr) cpu->ExecuteModuleCall(module, funcs);
+  }
+  void Touch(const void* addr, size_t bytes) {
+    if (cpu != nullptr) cpu->TouchData(addr, bytes);
+  }
+};
+
+/// Demand-pull (Volcano) operator with the open-next-close interface the
+/// paper builds on. Next() returns a pointer to a packed row (see
+/// storage/tuple.h) or nullptr when exhausted.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  virtual const uint8_t* Next() = 0;
+  virtual void Close() = 0;
+
+  /// Re-positions at the beginning without releasing state. Default
+  /// implementation is Close+Open.
+  virtual Status Rescan();
+
+  virtual const Schema& output_schema() const = 0;
+
+  /// The Table 2 module this operator's instruction footprint belongs to.
+  virtual sim::ModuleId module_id() const = 0;
+
+  /// Short label for plan printing, e.g. "Scan(lineitem)".
+  virtual std::string label() const;
+
+  /// The synthetic functions executed per unit of work. Includes per-query
+  /// additions (aggregate functions, predicate evaluation); this is what the
+  /// profiler's dynamic call graph observes and what the plan refiner sums.
+  const std::vector<sim::FuncId>& hot_funcs() const { return hot_funcs_; }
+
+  // -- Plan-tree structure (used by the refiner and the printer). --
+  size_t num_children() const { return children_.size(); }
+  Operator* child(size_t i) const { return children_[i].get(); }
+  std::unique_ptr<Operator> TakeChild(size_t i) {
+    return std::move(children_[i]);
+  }
+  void SetChild(size_t i, std::unique_ptr<Operator> op) {
+    children_[i] = std::move(op);
+  }
+
+  /// True if this operator fully consumes input `i` before producing its
+  /// first output tuple (Sort, the build side of HashJoin, Materialize).
+  /// Blocking operators "already buffer query execution below them" (§6).
+  virtual bool BlocksInput(size_t i) const {
+    (void)i;
+    return false;
+  }
+
+  /// True for operators the refiner must never include in an execution
+  /// group nor buffer above (e.g. the inner index scan of a foreign-key
+  /// index nested-loop join, §6).
+  bool excluded_from_buffering() const { return excluded_from_buffering_; }
+  void set_excluded_from_buffering(bool v) { excluded_from_buffering_ = v; }
+
+  /// Optimizer cardinality estimate for this operator's output; < 0 means
+  /// unknown (treated as large by the refiner).
+  double estimated_rows() const { return estimated_rows_; }
+  void set_estimated_rows(double rows) { estimated_rows_ = rows; }
+
+ protected:
+  Operator() = default;
+
+  void AddChild(std::unique_ptr<Operator> child) {
+    children_.push_back(std::move(child));
+  }
+
+  /// Initializes hot_funcs_ from the module's base set; operators append
+  /// query-specific functions afterwards.
+  void InitHotFuncs(sim::ModuleId module) {
+    hot_funcs_.clear();
+    for (sim::FuncId f : sim::ModuleBaseFuncs(module)) hot_funcs_.push_back(f);
+  }
+  void AddHotFunc(sim::FuncId f) {
+    for (sim::FuncId existing : hot_funcs_) {
+      if (existing == f) return;
+    }
+    hot_funcs_.push_back(f);
+  }
+
+  ExecContext* ctx_ = nullptr;
+  std::vector<sim::FuncId> hot_funcs_;
+
+ private:
+  std::vector<std::unique_ptr<Operator>> children_;
+  bool excluded_from_buffering_ = false;
+  double estimated_rows_ = -1.0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Runs a plan to completion (Open, drain, Close) and returns the produced
+/// rows. Convenience used by tests, examples and benches.
+Result<std::vector<const uint8_t*>> ExecutePlan(Operator* root,
+                                                ExecContext* ctx);
+
+/// Runs a plan and returns the produced rows as boxed values.
+Result<std::vector<std::vector<Value>>> ExecutePlanRows(Operator* root,
+                                                        ExecContext* ctx);
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_OPERATOR_H_

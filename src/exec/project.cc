@@ -1,0 +1,41 @@
+#include "exec/project.h"
+
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+ProjectOperator::ProjectOperator(OperatorPtr child,
+                                 std::vector<ProjectItem> items)
+    : items_(std::move(items)) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+  std::vector<Column> cols;
+  for (const ProjectItem& item : items_) {
+    cols.push_back(Column{item.output_name, item.expr->result_type()});
+  }
+  output_schema_ = Schema(std::move(cols));
+}
+
+Status ProjectOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child(0)->Open(ctx);
+}
+
+const uint8_t* ProjectOperator::Next() {
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  const uint8_t* row = child(0)->Next();
+  if (row == nullptr) return nullptr;
+  const Schema& in_schema = child(0)->output_schema();
+  TupleView view(row, &in_schema);
+  TupleBuilder builder(&output_schema_);
+  for (size_t i = 0; i < items_.size(); ++i) {
+    builder.Set(i, items_[i].expr->Evaluate(view));
+  }
+  const uint8_t* out = builder.Finish(&ctx_->arena);
+  ctx_->Touch(out, TupleView(out, &output_schema_).size_bytes());
+  return out;
+}
+
+void ProjectOperator::Close() { child(0)->Close(); }
+
+}  // namespace bufferdb

@@ -1,0 +1,39 @@
+#ifndef BUFFERDB_EXEC_PROJECT_H_
+#define BUFFERDB_EXEC_PROJECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace bufferdb {
+
+struct ProjectItem {
+  ExprPtr expr;
+  std::string output_name;
+};
+
+/// Computes a list of expressions per input tuple, materializing the result
+/// row into the query arena.
+class ProjectOperator final : public Operator {
+ public:
+  ProjectOperator(OperatorPtr child, std::vector<ProjectItem> items);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+
+  const Schema& output_schema() const override { return output_schema_; }
+  sim::ModuleId module_id() const override { return sim::ModuleId::kProject; }
+  std::string label() const override { return "Project"; }
+
+ private:
+  std::vector<ProjectItem> items_;
+  Schema output_schema_;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_PROJECT_H_

@@ -1,0 +1,49 @@
+#include "exec/seq_scan.h"
+
+#include "expr/evaluator.h"
+
+namespace bufferdb {
+
+SeqScanOperator::SeqScanOperator(Table* table, ExprPtr predicate)
+    : table_(table), predicate_(std::move(predicate)) {
+  InitHotFuncs(module_id());
+}
+
+Status SeqScanOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  pos_ = 0;
+  return Status::OK();
+}
+
+const uint8_t* SeqScanOperator::Next() {
+  const Schema& schema = table_->schema();
+  while (pos_ < table_->num_rows()) {
+    // One module execution per row considered: the scan loop body runs for
+    // every input row, not just for qualifying ones.
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    const uint8_t* row = table_->row(pos_++);
+    TupleView view(row, &schema);
+    ctx_->Touch(row, view.size_bytes());
+    if (predicate_ == nullptr || EvaluatePredicate(*predicate_, view)) {
+      return row;
+    }
+  }
+  ctx_->ExecModule(module_id(), hot_funcs_);  // End-of-scan bookkeeping.
+  return nullptr;
+}
+
+void SeqScanOperator::Close() { pos_ = 0; }
+
+Status SeqScanOperator::Rescan() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+std::string SeqScanOperator::label() const {
+  std::string out = "Scan(" + table_->name();
+  if (predicate_ != nullptr) out += ", " + predicate_->ToString();
+  out += ")";
+  return out;
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,44 @@
+#ifndef BUFFERDB_EXEC_SEQ_SCAN_H_
+#define BUFFERDB_EXEC_SEQ_SCAN_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+#include "storage/table.h"
+
+namespace bufferdb {
+
+/// Full-table scan with an optional predicate evaluated per row (the paper's
+/// "Scan with predicates" vs "Scan without predicates" modules, Table 2).
+/// Output schema is the table schema; rows are returned in place (no copy).
+class SeqScanOperator final : public Operator {
+ public:
+  /// `predicate` may be null. It must be bound to the table schema.
+  SeqScanOperator(Table* table, ExprPtr predicate);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+  Status Rescan() override;
+
+  const Schema& output_schema() const override { return table_->schema(); }
+  sim::ModuleId module_id() const override {
+    return predicate_ ? sim::ModuleId::kSeqScanFiltered
+                      : sim::ModuleId::kSeqScan;
+  }
+  std::string label() const override;
+
+  const Expression* predicate() const { return predicate_.get(); }
+  const Table* table() const { return table_; }
+
+ private:
+  Table* table_;
+  ExprPtr predicate_;
+  size_t pos_ = 0;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_SEQ_SCAN_H_

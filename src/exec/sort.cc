@@ -1,0 +1,68 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace bufferdb {
+
+SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys)
+    : keys_(std::move(keys)) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+}
+
+Status SortOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  BUFFERDB_RETURN_IF_ERROR(child(0)->Open(ctx));
+  sorted_.clear();
+  pos_ = 0;
+
+  const Schema& schema = child(0)->output_schema();
+  while (const uint8_t* row = child(0)->Next()) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    TupleView view(row, &schema);
+    std::vector<Value> key_values;
+    key_values.reserve(keys_.size());
+    for (const SortKey& k : keys_) key_values.push_back(k.expr->Evaluate(view));
+    ctx_->Touch(row, view.size_bytes());
+    sorted_.emplace_back(std::move(key_values), row);
+  }
+
+  std::stable_sort(
+      sorted_.begin(), sorted_.end(), [this](const auto& a, const auto& b) {
+        for (size_t i = 0; i < keys_.size(); ++i) {
+          const Value& x = a.first[i];
+          const Value& y = b.first[i];
+          // NULLs sort last in either direction.
+          if (x.is_null() != y.is_null()) return y.is_null();
+          if (x.is_null()) continue;
+          int c = Value::Compare(x, y);
+          if (c != 0) return keys_[i].descending ? c > 0 : c < 0;
+        }
+        return false;
+      });
+  loaded_ = true;
+  return Status::OK();
+}
+
+const uint8_t* SortOperator::Next() {
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  if (pos_ >= sorted_.size()) return nullptr;
+  const uint8_t* row = sorted_[pos_++].second;
+  ctx_->Touch(row, 64);
+  return row;
+}
+
+void SortOperator::Close() {
+  sorted_.clear();
+  loaded_ = false;
+  pos_ = 0;
+  child(0)->Close();
+}
+
+Status SortOperator::Rescan() {
+  if (!loaded_) return Open(ctx_);
+  pos_ = 0;  // Input unchanged; just replay the sorted output.
+  return Status::OK();
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,47 @@
+#ifndef BUFFERDB_EXEC_SORT_H_
+#define BUFFERDB_EXEC_SORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace bufferdb {
+
+struct SortKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// Blocking in-memory sort. Drains its child on Open (all experiments are
+/// memory-resident), sorts row pointers by precomputed keys, then emits.
+/// As a pipeline breaker it "already buffers query execution below it" (§6)
+/// and is never part of an execution group.
+class SortOperator final : public Operator {
+ public:
+  SortOperator(OperatorPtr child, std::vector<SortKey> keys);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+  Status Rescan() override;
+
+  const Schema& output_schema() const override {
+    return child(0)->output_schema();
+  }
+  sim::ModuleId module_id() const override { return sim::ModuleId::kSort; }
+  bool BlocksInput(size_t i) const override { return i == 0; }
+  std::string label() const override { return "Sort"; }
+
+ private:
+  std::vector<SortKey> keys_;
+  std::vector<std::pair<std::vector<Value>, const uint8_t*>> sorted_;
+  size_t pos_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_SORT_H_

@@ -1,0 +1,87 @@
+#include "exec/topn.h"
+
+#include <algorithm>
+
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+TopNOperator::TopNOperator(OperatorPtr child, std::vector<SortKey> keys,
+                           size_t limit)
+    : keys_(std::move(keys)), limit_(limit) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+}
+
+bool TopNOperator::Before(const Entry& a, const Entry& b) const {
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    const Value& x = a.first[i];
+    const Value& y = b.first[i];
+    if (x.is_null() != y.is_null()) return y.is_null();  // NULLs last.
+    if (x.is_null()) continue;
+    int c = Value::Compare(x, y);
+    if (c != 0) return keys_[i].descending ? c > 0 : c < 0;
+  }
+  return false;
+}
+
+Status TopNOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  heap_.clear();
+  sorted_.clear();
+  pos_ = 0;
+  loaded_ = false;
+  BUFFERDB_RETURN_IF_ERROR(child(0)->Open(ctx));
+  if (limit_ == 0) {
+    loaded_ = true;
+    return Status::OK();
+  }
+
+  auto worse = [this](const Entry& a, const Entry& b) { return Before(a, b); };
+  const Schema& schema = child(0)->output_schema();
+  while (const uint8_t* row = child(0)->Next()) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    TupleView view(row, &schema);
+    Entry entry;
+    entry.second = row;
+    entry.first.reserve(keys_.size());
+    for (const SortKey& k : keys_) entry.first.push_back(k.expr->Evaluate(view));
+    if (heap_.size() < limit_) {
+      heap_.push_back(std::move(entry));
+      std::push_heap(heap_.begin(), heap_.end(), worse);
+    } else if (Before(entry, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), worse);
+      heap_.back() = std::move(entry);
+      std::push_heap(heap_.begin(), heap_.end(), worse);
+    }
+    ctx_->Touch(heap_.data(), sizeof(Entry) * std::min(heap_.size(), size_t{8}));
+  }
+  std::sort_heap(heap_.begin(), heap_.end(), worse);
+  sorted_.reserve(heap_.size());
+  for (const Entry& e : heap_) sorted_.push_back(e.second);
+  heap_.clear();
+  loaded_ = true;
+  return Status::OK();
+}
+
+const uint8_t* TopNOperator::Next() {
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  if (pos_ >= sorted_.size()) return nullptr;
+  const uint8_t* row = sorted_[pos_++];
+  ctx_->Touch(row, 64);
+  return row;
+}
+
+void TopNOperator::Close() {
+  heap_.clear();
+  sorted_.clear();
+  loaded_ = false;
+  pos_ = 0;
+  child(0)->Close();
+}
+
+std::string TopNOperator::label() const {
+  return "TopN(" + std::to_string(limit_) + ")";
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,47 @@
+#ifndef BUFFERDB_EXEC_TOPN_H_
+#define BUFFERDB_EXEC_TOPN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/sort.h"
+
+namespace bufferdb {
+
+/// ORDER BY ... LIMIT n via a bounded heap: keeps only the current best n
+/// rows while consuming the input, then emits them in order. Blocking, but
+/// with O(n) memory instead of materializing the whole input like Sort.
+class TopNOperator final : public Operator {
+ public:
+  TopNOperator(OperatorPtr child, std::vector<SortKey> keys, size_t limit);
+
+  Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+
+  const Schema& output_schema() const override {
+    return child(0)->output_schema();
+  }
+  sim::ModuleId module_id() const override { return sim::ModuleId::kTopN; }
+  bool BlocksInput(size_t i) const override { return i == 0; }
+  std::string label() const override;
+
+ private:
+  using Entry = std::pair<std::vector<Value>, const uint8_t*>;
+
+  /// True if a precedes b in the requested order.
+  bool Before(const Entry& a, const Entry& b) const;
+
+  std::vector<SortKey> keys_;
+  size_t limit_;
+  std::vector<Entry> heap_;  // Max-heap on Before: top = worst kept row.
+  std::vector<const uint8_t*> sorted_;
+  size_t pos_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXEC_TOPN_H_

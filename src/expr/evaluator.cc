@@ -1,0 +1,133 @@
+#include "expr/evaluator.h"
+
+#include <algorithm>
+
+namespace bufferdb {
+
+bool EvaluatePredicate(const Expression& expr, const TupleView& row) {
+  Value v = expr.Evaluate(row);
+  return !v.is_null() && v.bool_value();
+}
+
+bool IsConstantExpr(const Expression& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumnRef:
+      return false;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return IsConstantExpr(b.left()) && IsConstantExpr(b.right());
+    }
+    case ExprKind::kUnary:
+      return IsConstantExpr(static_cast<const UnaryExpr&>(expr).operand());
+  }
+  return false;
+}
+
+bool ExprBoundTo(const Expression& expr, size_t num_columns) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumnRef: {
+      int col = static_cast<const ColumnRefExpr&>(expr).column();
+      return col >= 0 && static_cast<size_t>(col) < num_columns;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return ExprBoundTo(b.left(), num_columns) &&
+             ExprBoundTo(b.right(), num_columns);
+    }
+    case ExprKind::kUnary:
+      return ExprBoundTo(static_cast<const UnaryExpr&>(expr).operand(),
+                         num_columns);
+  }
+  return false;
+}
+
+namespace {
+
+// Constant expressions never touch the row, so a null view is safe.
+Value EvaluateConstant(const Expression& expr) {
+  static const Schema* empty = new Schema();
+  return expr.Evaluate(TupleView(nullptr, empty));
+}
+
+bool IsLiteralBool(const Expression& expr, bool value) {
+  if (expr.kind() != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const LiteralExpr&>(expr).value();
+  return !v.is_null() && v.type() == DataType::kBool &&
+         v.bool_value() == value;
+}
+
+}  // namespace
+
+ExprPtr FoldConstants(ExprPtr expr) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      return expr;
+    case ExprKind::kBinary: {
+      auto& b = static_cast<BinaryExpr&>(*expr);
+      BinaryOp op = b.op();
+      ExprPtr left = FoldConstants(b.left().Clone());
+      ExprPtr right = FoldConstants(b.right().Clone());
+      // Boolean short-circuits with one constant side.
+      if (op == BinaryOp::kAnd) {
+        if (IsLiteralBool(*left, false) || IsLiteralBool(*right, false)) {
+          return MakeLiteral(Value::Bool(false));
+        }
+        if (IsLiteralBool(*left, true)) return right;
+        if (IsLiteralBool(*right, true)) return left;
+      }
+      if (op == BinaryOp::kOr) {
+        if (IsLiteralBool(*left, true) || IsLiteralBool(*right, true)) {
+          return MakeLiteral(Value::Bool(true));
+        }
+        if (IsLiteralBool(*left, false)) return right;
+        if (IsLiteralBool(*right, false)) return left;
+      }
+      bool both_constant = left->kind() == ExprKind::kLiteral &&
+                           right->kind() == ExprKind::kLiteral;
+      auto rebuilt = MakeBinary(op, std::move(left), std::move(right));
+      if (!rebuilt.ok()) return expr;  // Shouldn't happen; keep original.
+      if (both_constant) return MakeLiteral(EvaluateConstant(**rebuilt));
+      return std::move(*rebuilt);
+    }
+    case ExprKind::kUnary: {
+      auto& u = static_cast<UnaryExpr&>(*expr);
+      ExprPtr operand = FoldConstants(u.operand().Clone());
+      bool constant = operand->kind() == ExprKind::kLiteral;
+      auto rebuilt = MakeUnary(u.op(), std::move(operand));
+      if (!rebuilt.ok()) return expr;
+      if (constant) return MakeLiteral(EvaluateConstant(**rebuilt));
+      return std::move(*rebuilt);
+    }
+  }
+  return expr;
+}
+
+void CollectColumns(const Expression& expr, std::vector<int>* columns) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kColumnRef: {
+      int col = static_cast<const ColumnRefExpr&>(expr).column();
+      if (std::find(columns->begin(), columns->end(), col) == columns->end()) {
+        columns->push_back(col);
+      }
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      CollectColumns(b.left(), columns);
+      CollectColumns(b.right(), columns);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectColumns(static_cast<const UnaryExpr&>(expr).operand(), columns);
+      return;
+  }
+}
+
+}  // namespace bufferdb

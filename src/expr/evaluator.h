@@ -1,0 +1,30 @@
+#ifndef BUFFERDB_EXPR_EVALUATOR_H_
+#define BUFFERDB_EXPR_EVALUATOR_H_
+
+#include "expr/expression.h"
+
+namespace bufferdb {
+
+/// SQL predicate semantics: true iff the expression evaluates to non-NULL
+/// true.
+bool EvaluatePredicate(const Expression& expr, const TupleView& row);
+
+/// True if `expr` references no columns (usable before any row exists).
+bool IsConstantExpr(const Expression& expr);
+
+/// True if every column referenced by `expr` is < num_columns (sanity check
+/// when binding an expression to a schema).
+bool ExprBoundTo(const Expression& expr, size_t num_columns);
+
+/// Collects the distinct column indexes referenced by `expr`.
+void CollectColumns(const Expression& expr, std::vector<int>* columns);
+
+/// Recursively evaluates constant subtrees into literals, including the
+/// boolean short-circuits (FALSE AND x -> FALSE, TRUE AND x -> x, and the
+/// OR duals). Division by zero folds to a NULL literal, matching runtime
+/// semantics. The result is semantically equivalent to the input.
+ExprPtr FoldConstants(ExprPtr expr);
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_EXPR_EVALUATOR_H_

@@ -1,0 +1,68 @@
+#ifndef BUFFERDB_INDEX_BTREE_H_
+#define BUFFERDB_INDEX_BTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bufferdb {
+
+/// In-memory B+-tree mapping int64 keys to row pointers. Duplicate keys are
+/// allowed (stored in insertion order among equal keys is not guaranteed).
+/// Leaves are linked for range scans; Seek() can report the node path it
+/// touched so the executor can charge the accesses to the CPU simulator.
+class BTree {
+ public:
+  static constexpr int kFanout = 64;  // Max children / leaf entries.
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  void Insert(int64_t key, const uint8_t* row);
+
+  class Iterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    int64_t key() const;
+    const uint8_t* row() const;
+    /// Address of the current leaf node (for data-cache simulation).
+    const void* node_address() const { return leaf_; }
+    void Next();
+
+   private:
+    friend class BTree;
+    const void* leaf_ = nullptr;
+    int pos_ = 0;
+  };
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const;
+
+  /// Iterator at the first entry with key >= `key`. If `touched_nodes` is
+  /// non-null, the addresses of all nodes visited during the descent are
+  /// appended (root to leaf).
+  Iterator Seek(int64_t key,
+                std::vector<const void*>* touched_nodes = nullptr) const;
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+ private:
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+  void SplitChild(Internal* parent, int index);
+  void FreeNode(Node* node);
+
+  Node* root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_INDEX_BTREE_H_

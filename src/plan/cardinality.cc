@@ -1,0 +1,135 @@
+#include "plan/cardinality.h"
+
+#include <algorithm>
+
+namespace bufferdb {
+
+namespace {
+
+constexpr double kDefaultSelectivity = 1.0 / 3.0;
+constexpr double kEqualitySelectivity = 0.05;
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+// Handles `col <op> literal` (either orientation) using column stats.
+double EstimateComparison(const BinaryExpr& cmp, Table* table) {
+  const Expression* col_side = &cmp.left();
+  const Expression* lit_side = &cmp.right();
+  BinaryOp op = cmp.op();
+  if (col_side->kind() != ExprKind::kColumnRef) {
+    std::swap(col_side, lit_side);
+    // Mirror the operator.
+    switch (op) {
+      case BinaryOp::kLt:
+        op = BinaryOp::kGt;
+        break;
+      case BinaryOp::kLe:
+        op = BinaryOp::kGe;
+        break;
+      case BinaryOp::kGt:
+        op = BinaryOp::kLt;
+        break;
+      case BinaryOp::kGe:
+        op = BinaryOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  if (col_side->kind() != ExprKind::kColumnRef ||
+      lit_side->kind() != ExprKind::kLiteral) {
+    return op == BinaryOp::kEq ? kEqualitySelectivity : kDefaultSelectivity;
+  }
+  const auto& col = static_cast<const ColumnRefExpr&>(*col_side);
+  const auto& lit = static_cast<const LiteralExpr&>(*lit_side);
+  if (lit.value().is_null()) return 0.0;
+
+  const ColumnStats& stats = table->stats(col.column());
+  if (!stats.valid || !IsNumeric(lit.value().type())) {
+    switch (op) {
+      case BinaryOp::kEq:
+        return kEqualitySelectivity;
+      case BinaryOp::kNe:
+        return 1.0 - kEqualitySelectivity;
+      default:
+        return kDefaultSelectivity;
+    }
+  }
+  double v = lit.value().AsDouble();
+  double lo = stats.min, hi = stats.max;
+  double width = hi - lo;
+  switch (op) {
+    case BinaryOp::kEq:
+      if (v < lo || v > hi) return 0.0;
+      return width <= 0 ? 1.0 : Clamp01(1.0 / (width + 1.0));
+    case BinaryOp::kNe:
+      return 1.0 - (width <= 0 ? 1.0 : Clamp01(1.0 / (width + 1.0)));
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      if (v <= lo) return 0.0;
+      if (v >= hi) return 1.0;
+      return Clamp01((v - lo) / width);
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      if (v >= hi) return 0.0;
+      if (v <= lo) return 1.0;
+      return Clamp01((hi - v) / width);
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+}  // namespace
+
+double EstimateSelectivity(const Expression& predicate, Table* table) {
+  switch (predicate.kind()) {
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(predicate);
+      if (lit.value().is_null()) return 0.0;
+      return lit.value().bool_value() ? 1.0 : 0.0;
+    }
+    case ExprKind::kColumnRef:
+      return kDefaultSelectivity;
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(predicate);
+      if (u.op() == UnaryOp::kNot) {
+        return Clamp01(1.0 - EstimateSelectivity(u.operand(), table));
+      }
+      if (u.op() == UnaryOp::kIsNull) return 0.01;
+      if (u.op() == UnaryOp::kIsNotNull) return 0.99;
+      return kDefaultSelectivity;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(predicate);
+      if (b.op() == BinaryOp::kAnd) {
+        return EstimateSelectivity(b.left(), table) *
+               EstimateSelectivity(b.right(), table);
+      }
+      if (b.op() == BinaryOp::kOr) {
+        double s1 = EstimateSelectivity(b.left(), table);
+        double s2 = EstimateSelectivity(b.right(), table);
+        return Clamp01(s1 + s2 - s1 * s2);
+      }
+      if (b.op() == BinaryOp::kLike) return 0.1;
+      if (IsComparison(b.op())) return EstimateComparison(b, table);
+      return kDefaultSelectivity;
+    }
+  }
+  return kDefaultSelectivity;
+}
+
+double EstimateEquiJoinRows(double left_rows, double right_rows,
+                            double right_table_rows, bool right_unique) {
+  if (right_unique) {
+    // Foreign-key join: each left row matches at most one right row; if the
+    // right side is filtered, scale by the surviving fraction.
+    double fraction =
+        right_table_rows > 0 ? right_rows / right_table_rows : 1.0;
+    return left_rows * std::min(1.0, fraction);
+  }
+  double denom = std::max(left_rows, right_rows);
+  if (denom <= 0) return 0;
+  return left_rows * right_rows / denom;
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,22 @@
+#ifndef BUFFERDB_PLAN_CARDINALITY_H_
+#define BUFFERDB_PLAN_CARDINALITY_H_
+
+#include "expr/expression.h"
+#include "storage/table.h"
+
+namespace bufferdb {
+
+/// Estimated fraction of `table`'s rows satisfying `predicate` (0..1).
+/// Uses min/max column statistics for range predicates on numeric columns;
+/// textbook default constants otherwise.
+double EstimateSelectivity(const Expression& predicate, Table* table);
+
+/// Estimated output cardinality of an equi-join.
+/// `right_unique` means the right side joins on a declared-unique key
+/// (foreign-key join): every left row matches at most once.
+double EstimateEquiJoinRows(double left_rows, double right_rows,
+                            double right_table_rows, bool right_unique);
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_PLAN_CARDINALITY_H_

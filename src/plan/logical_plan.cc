@@ -1,0 +1,38 @@
+#include "plan/logical_plan.h"
+
+namespace bufferdb {
+
+std::string LogicalQuery::ToString() const {
+  std::string out = "LogicalQuery{tables=[";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tables[i]->name();
+    if (filters[i] != nullptr) out += " WHERE " + filters[i]->ToString();
+  }
+  out += "]";
+  for (const LogicalJoinEdge& edge : joins) {
+    out += ", join " +
+           tables[edge.left_table]->schema().column(edge.left_col).name + "=" +
+           tables[edge.right_table]->schema().column(edge.right_col).name;
+  }
+  for (const ExprPtr& pred : cross_predicates) {
+    out += ", cross " + pred->ToString();
+  }
+  out += ", select [";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (items[i].is_aggregate) {
+      out += AggFuncName(items[i].agg);
+      if (items[i].expr != nullptr) out += "(" + items[i].expr->ToString() + ")";
+    } else {
+      out += items[i].expr->ToString();
+    }
+  }
+  out += "]";
+  if (having != nullptr) out += ", having " + having->ToString();
+  if (distinct) out += ", distinct";
+  out += "}";
+  return out;
+}
+
+}  // namespace bufferdb

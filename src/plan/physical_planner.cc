@@ -1,0 +1,361 @@
+#include "plan/physical_planner.h"
+
+#include <algorithm>
+
+#include "core/buffered_index_join.h"
+#include "exec/distinct.h"
+#include "exec/filter.h"
+#include "exec/hash_aggregation.h"
+#include "exec/hash_join.h"
+#include "exec/topn.h"
+#include "exec/index_scan.h"
+#include "exec/limit.h"
+#include "exec/merge_join.h"
+#include "exec/nested_loop_join.h"
+#include "exec/project.h"
+#include "exec/seq_scan.h"
+#include "exec/sort.h"
+#include "plan/cardinality.h"
+
+namespace bufferdb {
+
+namespace {
+
+ExprPtr ColRef(const Schema& schema, int col) {
+  return MakeColumnRefUnchecked(col, schema.column(col).type,
+                                schema.column(col).name);
+}
+
+OperatorPtr MakeScan(Table* table, const ExprPtr& filter) {
+  ExprPtr predicate = filter != nullptr ? filter->Clone() : nullptr;
+  double selectivity =
+      filter != nullptr ? EstimateSelectivity(*filter, table) : 1.0;
+  auto scan = std::make_unique<SeqScanOperator>(table, std::move(predicate));
+  scan->set_estimated_rows(selectivity *
+                           static_cast<double>(table->num_rows()));
+  return scan;
+}
+
+}  // namespace
+
+const char* JoinStrategyName(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kAuto:
+      return "auto";
+    case JoinStrategy::kIndexNestLoop:
+      return "nestloop";
+    case JoinStrategy::kHashJoin:
+      return "hash";
+    case JoinStrategy::kMergeJoin:
+      return "merge";
+    case JoinStrategy::kBufferedIndex:
+      return "buffered-index";
+  }
+  return "?";
+}
+
+// Builds one join step: joins `plan` (covering the first k FROM tables,
+// whose schema is a prefix of query.input_schema) with query.tables[k].
+// `outer_key_col` indexes the accumulated schema; `inner_key_col` the new
+// table's own schema.
+Result<OperatorPtr> PhysicalPlanner::PlanJoinStep(const LogicalQuery& query,
+                                                  OperatorPtr plan, size_t k,
+                                                  int outer_key_col,
+                                                  int inner_key_col) {
+  Table* inner_table = query.tables[k];
+  const Schema& outer_schema = plan->output_schema();
+  const Schema& inner_schema = inner_table->schema();
+  const ExprPtr& inner_filter = query.filters[k];
+
+  double outer_rows = plan->estimated_rows();
+  double inner_filtered_rows =
+      inner_filter != nullptr
+          ? EstimateSelectivity(*inner_filter, inner_table) *
+                static_cast<double>(inner_table->num_rows())
+          : static_cast<double>(inner_table->num_rows());
+
+  const IndexInfo* inner_index =
+      catalog_->FindIndex(inner_table, inner_key_col);
+
+  JoinStrategy strategy = options_.join_strategy;
+  if (strategy == JoinStrategy::kAuto) {
+    strategy = (inner_index != nullptr && inner_index->unique)
+                   ? JoinStrategy::kIndexNestLoop
+                   : JoinStrategy::kHashJoin;
+  }
+
+  double join_rows = EstimateEquiJoinRows(
+      outer_rows, inner_filtered_rows,
+      static_cast<double>(inner_table->num_rows()),
+      inner_index != nullptr && inner_index->unique);
+
+  OperatorPtr join_op;
+  switch (strategy) {
+    case JoinStrategy::kBufferedIndex: {
+      if (inner_index == nullptr) {
+        return Status::InvalidArgument(
+            "no index on the inner join column of " + inner_table->name() +
+            "; cannot use batched index probes (reorder FROM)");
+      }
+      if (inner_filter != nullptr) {
+        return Status::NotImplemented(
+            "inner filters unsupported for batched index probes");
+      }
+      join_op = std::make_unique<BufferedIndexJoinOperator>(
+          std::move(plan), inner_index, ColRef(outer_schema, outer_key_col));
+      break;
+    }
+    case JoinStrategy::kIndexNestLoop: {
+      if (inner_index == nullptr) {
+        return Status::InvalidArgument(
+            "no index on the inner join column of " + inner_table->name() +
+            "; cannot use index nested loop (reorder FROM)");
+      }
+      ExprPtr residual =
+          inner_filter != nullptr ? inner_filter->Clone() : nullptr;
+      auto inner = std::make_unique<IndexScanOperator>(
+          inner_index, std::nullopt, std::nullopt, std::move(residual));
+      // Foreign-key lookups produce at most one row per probe; the paper
+      // excludes such inner scans from buffering entirely (§6, Fig. 15).
+      inner->set_excluded_from_buffering(inner_index->unique);
+      inner->set_estimated_rows(inner_index->unique ? 1.0
+                                                    : inner_filtered_rows);
+      join_op = std::make_unique<IndexNestLoopJoinOperator>(
+          std::move(plan), std::move(inner),
+          ColRef(outer_schema, outer_key_col));
+      break;
+    }
+    case JoinStrategy::kHashJoin: {
+      OperatorPtr build = MakeScan(inner_table, inner_filter);
+      join_op = std::make_unique<HashJoinOperator>(
+          std::move(plan), std::move(build),
+          ColRef(outer_schema, outer_key_col),
+          ColRef(inner_schema, inner_key_col), nullptr);
+      break;
+    }
+    case JoinStrategy::kMergeJoin: {
+      // Left side: sort the accumulated plan. Right side: an index on the
+      // join column provides sorted order without a sort (Fig. 17);
+      // otherwise sort a scan.
+      std::vector<SortKey> left_keys;
+      left_keys.push_back(
+          SortKey{ColRef(outer_schema, outer_key_col), false});
+      OperatorPtr sorted_left = std::make_unique<SortOperator>(
+          std::move(plan), std::move(left_keys));
+      sorted_left->set_estimated_rows(outer_rows);
+
+      OperatorPtr right;
+      if (inner_index != nullptr && inner_filter == nullptr) {
+        auto index_scan = std::make_unique<IndexScanOperator>(
+            inner_index, std::nullopt, std::nullopt, nullptr);
+        index_scan->set_estimated_rows(inner_filtered_rows);
+        right = std::move(index_scan);
+      } else {
+        OperatorPtr scan = MakeScan(inner_table, inner_filter);
+        std::vector<SortKey> right_keys;
+        right_keys.push_back(
+            SortKey{ColRef(inner_schema, inner_key_col), false});
+        right = std::make_unique<SortOperator>(std::move(scan),
+                                               std::move(right_keys));
+        right->set_estimated_rows(inner_filtered_rows);
+      }
+      join_op = std::make_unique<MergeJoinOperator>(
+          std::move(sorted_left), std::move(right),
+          ColRef(outer_schema, outer_key_col),
+          ColRef(inner_schema, inner_key_col));
+      break;
+    }
+    case JoinStrategy::kAuto:
+      return Status::Internal("unresolved join strategy");
+  }
+  join_op->set_estimated_rows(join_rows);
+  return join_op;
+}
+
+// Left-deep join chain in FROM order over the binder's equi-join edges.
+Result<OperatorPtr> PhysicalPlanner::PlanJoins(const LogicalQuery& query) {
+  std::vector<size_t> offsets;
+  size_t offset = 0;
+  for (Table* table : query.tables) {
+    offsets.push_back(offset);
+    offset += table->schema().num_columns();
+  }
+
+  OperatorPtr plan = MakeScan(query.tables[0], query.filters[0]);
+  std::vector<bool> joined(query.tables.size(), false);
+  joined[0] = true;
+  std::vector<bool> edge_used(query.joins.size(), false);
+
+  for (size_t k = 1; k < query.tables.size(); ++k) {
+    int outer_key_col = -1, inner_key_col = -1;
+    for (size_t e = 0; e < query.joins.size(); ++e) {
+      if (edge_used[e]) continue;
+      const LogicalJoinEdge& edge = query.joins[e];
+      if (edge.right_table == static_cast<int>(k) && joined[edge.left_table]) {
+        outer_key_col =
+            static_cast<int>(offsets[edge.left_table]) + edge.left_col;
+        inner_key_col = edge.right_col;
+        edge_used[e] = true;
+        break;
+      }
+      if (edge.left_table == static_cast<int>(k) && joined[edge.right_table]) {
+        outer_key_col =
+            static_cast<int>(offsets[edge.right_table]) + edge.right_col;
+        inner_key_col = edge.left_col;
+        edge_used[e] = true;
+        break;
+      }
+    }
+    if (outer_key_col < 0) {
+      return Status::NotImplemented(
+          "table " + query.tables[k]->name() +
+          " is not connected to the preceding FROM tables by an equi-join");
+    }
+    BUFFERDB_ASSIGN_OR_RETURN(
+        next, PlanJoinStep(query, std::move(plan), k, outer_key_col,
+                           inner_key_col));
+    plan = std::move(next);
+    joined[k] = true;
+  }
+
+  // Redundant edges (cycles) and cross-table predicates apply over the
+  // final schema, which equals input_schema.
+  ExprPtr leftover;
+  auto and_combine = [&leftover](ExprPtr e) {
+    if (leftover == nullptr) {
+      leftover = std::move(e);
+    } else {
+      auto r = MakeBinary(BinaryOp::kAnd, std::move(leftover), std::move(e));
+      leftover = std::move(*r);
+    }
+  };
+  for (size_t e = 0; e < query.joins.size(); ++e) {
+    if (edge_used[e]) continue;
+    const LogicalJoinEdge& edge = query.joins[e];
+    auto eq = MakeBinary(
+        BinaryOp::kEq,
+        ColRef(query.input_schema,
+               static_cast<int>(offsets[edge.left_table]) + edge.left_col),
+        ColRef(query.input_schema,
+               static_cast<int>(offsets[edge.right_table]) + edge.right_col));
+    and_combine(std::move(*eq));
+  }
+  for (const ExprPtr& pred : query.cross_predicates) {
+    and_combine(pred->Clone());
+  }
+  if (leftover != nullptr) {
+    double rows = plan->estimated_rows();
+    plan = std::make_unique<FilterOperator>(std::move(plan),
+                                            std::move(leftover));
+    plan->set_estimated_rows(rows / 3.0);
+  }
+  return plan;
+}
+
+Result<OperatorPtr> PhysicalPlanner::CreatePlan(const LogicalQuery& query,
+                                                RefinementReport* report) {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("query has no tables");
+  }
+
+  OperatorPtr plan;
+  double input_rows;
+  if (query.tables.size() == 1) {
+    plan = MakeScan(query.tables[0], query.filters[0]);
+    input_rows = plan->estimated_rows();
+    if (!query.cross_predicates.empty()) {
+      return Status::Internal("cross predicate on single-table query");
+    }
+  } else {
+    BUFFERDB_ASSIGN_OR_RETURN(join_plan, PlanJoins(query));
+    plan = std::move(join_plan);
+    input_rows = plan->estimated_rows();
+  }
+
+  // Aggregation or projection.
+  if (query.has_aggregates) {
+    std::vector<GroupKeyExpr> groups;
+    std::vector<AggSpec> specs;
+    for (const OutputItem& item : query.items) {
+      if (item.is_aggregate) {
+        specs.push_back(AggSpec{
+            item.agg, item.expr != nullptr ? item.expr->Clone() : nullptr,
+            item.name});
+      } else {
+        groups.push_back(GroupKeyExpr{item.expr->Clone(), item.name});
+      }
+    }
+    if (groups.empty()) {
+      plan = std::make_unique<AggregationOperator>(std::move(plan),
+                                                   std::move(specs));
+      plan->set_estimated_rows(1.0);
+    } else {
+      plan = std::make_unique<HashAggregationOperator>(
+          std::move(plan), std::move(groups), std::move(specs));
+      // Crude distinct-groups estimate.
+      plan->set_estimated_rows(std::max(1.0, std::min(input_rows / 10.0,
+                                                      10000.0)));
+    }
+  } else {
+    std::vector<ProjectItem> items;
+    for (const OutputItem& item : query.items) {
+      items.push_back(ProjectItem{item.expr->Clone(), item.name});
+    }
+    plan = std::make_unique<ProjectOperator>(std::move(plan),
+                                             std::move(items));
+    plan->set_estimated_rows(input_rows);
+  }
+
+  // HAVING over the aggregate output.
+  if (query.having != nullptr) {
+    double rows = plan->estimated_rows();
+    plan = std::make_unique<FilterOperator>(std::move(plan),
+                                            query.having->Clone());
+    plan->set_estimated_rows(rows * 0.5);
+  }
+
+  if (query.distinct) {
+    double rows = plan->estimated_rows();
+    plan = std::make_unique<DistinctOperator>(std::move(plan));
+    plan->set_estimated_rows(rows * 0.5);
+  }
+
+  // ORDER BY over the output schema; fused with LIMIT into a bounded-heap
+  // TopN when both are present.
+  if (!query.order_by.empty()) {
+    double rows = plan->estimated_rows();
+    std::vector<SortKey> keys;
+    const Schema& out_schema = plan->output_schema();
+    for (const auto& [name, desc] : query.order_by) {
+      int col = out_schema.FindColumn(name);
+      if (col < 0) {
+        return Status::NotFound("ORDER BY column not in output: " + name);
+      }
+      keys.push_back(SortKey{ColRef(out_schema, col), desc});
+    }
+    if (query.limit.has_value()) {
+      plan = std::make_unique<TopNOperator>(
+          std::move(plan), std::move(keys),
+          static_cast<size_t>(*query.limit));
+      plan->set_estimated_rows(
+          std::min(rows, static_cast<double>(*query.limit)));
+    } else {
+      plan = std::make_unique<SortOperator>(std::move(plan), std::move(keys));
+      plan->set_estimated_rows(rows);
+    }
+  } else if (query.limit.has_value()) {
+    double rows = plan->estimated_rows();
+    plan = std::make_unique<LimitOperator>(
+        std::move(plan), static_cast<size_t>(*query.limit));
+    plan->set_estimated_rows(
+        std::min(rows, static_cast<double>(*query.limit)));
+  }
+
+  if (options_.refine) {
+    PlanRefiner refiner(options_.refinement);
+    plan = refiner.Refine(std::move(plan), report);
+  }
+  return plan;
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,65 @@
+#ifndef BUFFERDB_PLAN_PHYSICAL_PLANNER_H_
+#define BUFFERDB_PLAN_PHYSICAL_PLANNER_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "core/plan_refiner.h"
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace bufferdb {
+
+enum class JoinStrategy : uint8_t {
+  kAuto,          // Index nested loop when the right side has a unique
+                  // index on the join column, hash join otherwise.
+  kIndexNestLoop,
+  kHashJoin,
+  kMergeJoin,
+  /// Extension: index nested loop with batched, key-sorted probes
+  /// (core/buffered_index_join.h). Within a probe batch, output order is by
+  /// join key rather than outer order.
+  kBufferedIndex,
+};
+
+const char* JoinStrategyName(JoinStrategy strategy);
+
+struct PlannerOptions {
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+  /// Run the §6.2 plan refinement pass on the produced plan.
+  bool refine = false;
+  RefinementOptions refinement;
+};
+
+/// Translates a bound LogicalQuery into an executable operator tree.
+///
+/// Physical conventions (all deterministic, so benches can force the paper's
+/// plans): tables[0] is always the outer/probe/left side, tables[1] the
+/// inner/build/right side; the join output schema is therefore exactly
+/// Concat(tables[0], tables[1]) == LogicalQuery::input_schema. The planner
+/// annotates every operator with a cardinality estimate and marks the inner
+/// index scan of a unique-key index nested-loop join as excluded from
+/// buffering (§6).
+class PhysicalPlanner {
+ public:
+  PhysicalPlanner(const Catalog* catalog, PlannerOptions options)
+      : catalog_(catalog), options_(options) {}
+
+  /// `report` (optional) receives the refinement report when
+  /// options.refine is set.
+  Result<OperatorPtr> CreatePlan(const LogicalQuery& query,
+                                 RefinementReport* report = nullptr);
+
+ private:
+  Result<OperatorPtr> PlanJoins(const LogicalQuery& query);
+  Result<OperatorPtr> PlanJoinStep(const LogicalQuery& query, OperatorPtr plan,
+                                   size_t k, int outer_key_col,
+                                   int inner_key_col);
+
+  const Catalog* catalog_;
+  PlannerOptions options_;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_PLAN_PHYSICAL_PLANNER_H_

@@ -1,0 +1,19 @@
+#ifndef BUFFERDB_PLAN_PLAN_PRINTER_H_
+#define BUFFERDB_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "exec/operator.h"
+
+namespace bufferdb {
+
+/// Renders an operator tree as an indented EXPLAIN-style listing, e.g.
+///
+///   Agg(SUM(...), AVG(...), COUNT(*))        rows=1      footprint=15.3K
+///     Buffer(1000)                           rows=60175  footprint=0.7K
+///       Scan(lineitem, (l_shipdate <= ...))  rows=60175  footprint=13.0K
+std::string PrintPlan(const Operator& root, bool show_footprints = true);
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_PLAN_PLAN_PRINTER_H_

@@ -1,0 +1,93 @@
+#include "profile/calibration_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/threshold_calibration.h"
+#include "profile/calibration_queries.h"
+
+namespace bufferdb::profile {
+
+namespace {
+constexpr char kHeader[] = "bufferdb-calibration v1";
+}  // namespace
+
+Status SaveCalibration(const SystemCalibration& calibration,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  out << kHeader << "\n";
+  out << "threshold " << calibration.cardinality_threshold << "\n";
+  for (int m = 0; m < sim::kNumModuleIds; ++m) {
+    auto module = static_cast<sim::ModuleId>(m);
+    if (!calibration.footprints.has(module)) continue;
+    out << "module " << sim::ModuleName(module);
+    for (sim::FuncId f : calibration.footprints.funcs(module).ToVector()) {
+      out << " " << sim::FuncName(f);
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SystemCalibration> LoadCalibration(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::ParseError("bad calibration header in " + path);
+  }
+  SystemCalibration calibration;
+  bool saw_threshold = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream tokens(line);
+    std::string kind;
+    tokens >> kind;
+    if (kind == "threshold") {
+      if (!(tokens >> calibration.cardinality_threshold)) {
+        return Status::ParseError("bad threshold line: " + line);
+      }
+      saw_threshold = true;
+    } else if (kind == "module") {
+      std::string module_name;
+      tokens >> module_name;
+      // Module names may contain no spaces except the ones we emit; the
+      // Table 2 names like "HashJoin(build)" are single tokens.
+      sim::ModuleId module;
+      if (!sim::ModuleIdFromName(module_name, &module)) {
+        return Status::ParseError("unknown module: " + module_name);
+      }
+      FuncSet funcs;
+      std::string func_name;
+      while (tokens >> func_name) {
+        sim::FuncId f;
+        if (!sim::FuncIdFromName(func_name, &f)) {
+          return Status::ParseError("unknown function: " + func_name);
+        }
+        funcs.Add(f);
+      }
+      calibration.footprints.SetFuncs(module, funcs);
+    } else {
+      return Status::ParseError("unknown line kind: " + kind);
+    }
+  }
+  if (!saw_threshold) return Status::ParseError("missing threshold");
+  return calibration;
+}
+
+Result<SystemCalibration> CalibrateAndSave(const std::string& path) {
+  SystemCalibration calibration;
+  calibration.footprints = CalibrateFootprints();
+  calibration.cardinality_threshold =
+      CalibrateCardinalityThreshold().threshold;
+  BUFFERDB_RETURN_IF_ERROR(SaveCalibration(calibration, path));
+  return calibration;
+}
+
+}  // namespace bufferdb::profile

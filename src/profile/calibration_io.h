@@ -1,0 +1,38 @@
+#ifndef BUFFERDB_PROFILE_CALIBRATION_IO_H_
+#define BUFFERDB_PROFILE_CALIBRATION_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "profile/footprint.h"
+
+namespace bufferdb::profile {
+
+/// Result of the one-time per-system calibration the paper prescribes
+/// ("This threshold can be determined once, in advance, by the database
+/// system", §6): the measured module footprints plus the cardinality
+/// threshold.
+struct SystemCalibration {
+  FootprintTable footprints;
+  double cardinality_threshold = 0;
+};
+
+/// Serializes a calibration to a human-readable text file:
+///   bufferdb-calibration v1
+///   threshold 128
+///   module Scan exec_common scan_core
+///   ...
+Status SaveCalibration(const SystemCalibration& calibration,
+                       const std::string& path);
+
+/// Loads a calibration saved by SaveCalibration. Unknown function or module
+/// names (from a different build) are an error.
+Result<SystemCalibration> LoadCalibration(const std::string& path);
+
+/// Runs both calibration passes (footprints + threshold) and saves to
+/// `path`; returns the fresh calibration.
+Result<SystemCalibration> CalibrateAndSave(const std::string& path);
+
+}  // namespace bufferdb::profile
+
+#endif  // BUFFERDB_PROFILE_CALIBRATION_IO_H_

@@ -1,0 +1,30 @@
+#ifndef BUFFERDB_PROFILE_CALIBRATION_QUERIES_H_
+#define BUFFERDB_PROFILE_CALIBRATION_QUERIES_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "profile/footprint.h"
+#include "storage/table.h"
+
+namespace bufferdb::profile {
+
+/// Synthetic fact table used by the calibration machinery and tests:
+///   (id INT64, key INT64, price DOUBLE, discount DOUBLE, tax DOUBLE,
+///    quantity DOUBLE, shipdate DATE, sel DOUBLE uniform in [0,1))
+/// `key` is uniform in [0, key_range).
+std::unique_ptr<Table> BuildSyntheticItems(size_t rows, uint64_t seed,
+                                           int64_t key_range = 500);
+
+/// Synthetic dimension table: (key INT64 = 0..rows-1, totalprice DOUBLE).
+std::unique_ptr<Table> BuildSyntheticGroups(size_t rows, uint64_t seed);
+
+/// Calibrates the system once by running a small query set that covers all
+/// operator types (§6.2 step 0, §7.1) under the CPU simulator with a call
+/// graph recorder attached, and returns the measured per-module instruction
+/// footprints (Table 2).
+FootprintTable CalibrateFootprints();
+
+}  // namespace bufferdb::profile
+
+#endif  // BUFFERDB_PROFILE_CALIBRATION_QUERIES_H_

@@ -1,0 +1,22 @@
+#include "profile/call_graph.h"
+
+#include <cstdio>
+
+namespace bufferdb::profile {
+
+std::string CallGraphRecorder::ToString() const {
+  std::string out = "runtime call graph:\n";
+  for (int m = 0; m < sim::kNumModuleIds; ++m) {
+    const Entry& e = modules_[m];
+    if (e.calls == 0) continue;
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-18s calls=%-10llu funcs=%s\n",
+                  sim::ModuleName(static_cast<sim::ModuleId>(m)),
+                  static_cast<unsigned long long>(e.calls),
+                  e.funcs.ToString().c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bufferdb::profile

@@ -1,0 +1,88 @@
+#include "profile/call_sequence.h"
+
+#include <cstdio>
+
+namespace bufferdb::profile {
+
+namespace {
+// B is reserved for the buffer operator to match the paper's prose; other
+// modules draw from this pool in first-appearance order.
+constexpr char kLetterPool[] = "CPDEFGHIJKLMNOQRSTUVWXYZ";
+}  // namespace
+
+char CallSequenceRecorder::LetterFor(sim::ModuleId module) {
+  auto it = letters_.find(module);
+  if (it != letters_.end()) return it->second;
+  char letter;
+  if (module == sim::ModuleId::kBuffer) {
+    letter = 'B';
+  } else {
+    size_t used = letters_.size() - letters_.count(sim::ModuleId::kBuffer);
+    letter = used < sizeof(kLetterPool) - 1 ? kLetterPool[used] : '?';
+  }
+  letters_[module] = letter;
+  return letter;
+}
+
+void CallSequenceRecorder::OnModuleCall(sim::ModuleId module,
+                                        std::span<const sim::FuncId>) {
+  char letter = LetterFor(module);
+  if (calls_.size() >= max_calls_) {
+    ++dropped_;
+    return;
+  }
+  calls_.push_back(letter);
+}
+
+std::string CallSequenceRecorder::Sequence() const {
+  return std::string(calls_.begin(), calls_.end());
+}
+
+std::string CallSequenceRecorder::Compressed(size_t min_run) const {
+  std::string out;
+  size_t i = 0;
+  while (i < calls_.size()) {
+    size_t j = i;
+    while (j < calls_.size() && calls_[j] == calls_[i]) ++j;
+    size_t run = j - i;
+    if (run >= min_run) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%c{%zu}", calls_[i], run);
+      out += buf;
+    } else {
+      out.append(run, calls_[i]);
+    }
+    i = j;
+  }
+  if (dropped_ > 0) {
+    out += "...(+" + std::to_string(dropped_) + " calls)";
+  }
+  return out;
+}
+
+std::string CallSequenceRecorder::Legend() const {
+  std::string out;
+  for (const auto& [module, letter] : letters_) {
+    out += letter;
+    out += " = ";
+    out += sim::ModuleName(module);
+    out += "; ";
+  }
+  return out;
+}
+
+uint64_t CallSequenceRecorder::Transitions() const {
+  uint64_t transitions = 0;
+  for (size_t i = 1; i < calls_.size(); ++i) {
+    if (calls_[i] != calls_[i - 1]) ++transitions;
+  }
+  return transitions;
+}
+
+void CallSequenceRecorder::Reset() {
+  calls_.clear();
+  letters_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace bufferdb::profile

@@ -1,0 +1,57 @@
+#ifndef BUFFERDB_PROFILE_CALL_SEQUENCE_H_
+#define BUFFERDB_PROFILE_CALL_SEQUENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/sim_cpu.h"
+
+namespace bufferdb::profile {
+
+/// Records the order in which operator modules execute, rendering it as the
+/// paper's Figure 1 strings: one letter per module call, e.g.
+///   unbuffered:  PCPCPCPCPC...
+///   buffered:    PBCCCCCBPBPBP...  (B = the buffer operator itself)
+///
+/// Letters are assigned in first-appearance order (child-first execution
+/// means the scan usually gets the first letter). Runs can be compressed
+/// ("C{1000}P{1000}") for large traces.
+class CallSequenceRecorder final : public sim::CallGraphSink {
+ public:
+  explicit CallSequenceRecorder(size_t max_calls = 1 << 20)
+      : max_calls_(max_calls) {}
+
+  void OnModuleCall(sim::ModuleId module,
+                    std::span<const sim::FuncId> funcs) override;
+
+  /// One character per recorded call, e.g. "CPCPCP".
+  std::string Sequence() const;
+
+  /// Run-length compressed form, e.g. "C{3}P C{3}P" -> "(C3 P1)x...".
+  /// Runs shorter than `min_run` are emitted verbatim.
+  std::string Compressed(size_t min_run = 4) const;
+
+  /// Mapping letter -> module name for the legend.
+  std::string Legend() const;
+
+  /// Number of adjacent pairs of *different* modules — the paper's
+  /// interleaving count; buffering reduces it by ~buffer_size x.
+  uint64_t Transitions() const;
+
+  uint64_t total_calls() const { return calls_.size() + dropped_; }
+  void Reset();
+
+ private:
+  char LetterFor(sim::ModuleId module);
+
+  size_t max_calls_;
+  uint64_t dropped_ = 0;
+  std::vector<char> calls_;
+  std::map<sim::ModuleId, char> letters_;
+};
+
+}  // namespace bufferdb::profile
+
+#endif  // BUFFERDB_PROFILE_CALL_SEQUENCE_H_

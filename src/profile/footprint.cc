@@ -1,0 +1,50 @@
+#include "profile/footprint.h"
+
+#include <cstdio>
+
+namespace bufferdb::profile {
+
+FootprintTable FootprintTable::FromRecorder(const CallGraphRecorder& recorder) {
+  FootprintTable table;
+  for (int m = 0; m < sim::kNumModuleIds; ++m) {
+    auto module = static_cast<sim::ModuleId>(m);
+    if (recorder.observed(module)) {
+      table.funcs_[m] = recorder.funcs(module);
+    }
+  }
+  return table;
+}
+
+uint64_t FootprintTable::CombinedBytes(
+    std::span<const sim::ModuleId> modules) const {
+  FuncSet combined;
+  for (sim::ModuleId m : modules) {
+    combined.UnionWith(funcs_[static_cast<size_t>(m)]);
+  }
+  return combined.TotalBytes();
+}
+
+uint64_t FootprintTable::StaticEstimateBytes(sim::ModuleId module) const {
+  FuncSet with_cold = funcs_[static_cast<size_t>(module)];
+  with_cold.AddAll(sim::StaticOnlyFuncs());
+  return with_cold.TotalBytes();
+}
+
+std::string FootprintTable::ToString() const {
+  std::string out;
+  out += "Module                Instruction Footprint (bytes)\n";
+  out += "----------------------------------------------------\n";
+  for (int m = 0; m < sim::kNumModuleIds; ++m) {
+    auto module = static_cast<sim::ModuleId>(m);
+    if (!has(module)) continue;
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-20s  %7llu  (%.1fK)\n",
+                  sim::ModuleName(module),
+                  static_cast<unsigned long long>(footprint_bytes(module)),
+                  static_cast<double>(footprint_bytes(module)) / 1000.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bufferdb::profile

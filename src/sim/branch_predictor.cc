@@ -1,0 +1,53 @@
+#include "sim/branch_predictor.h"
+
+#include <cassert>
+
+namespace bufferdb::sim {
+
+namespace {
+
+bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+BranchPredictor::BranchPredictor(PredictorKind kind, uint32_t table_entries,
+                                 uint32_t history_bits)
+    : kind_(kind),
+      mask_(table_entries - 1),
+      history_mask_((1u << history_bits) - 1),
+      counters_(table_entries, 2) {  // Weakly taken.
+  assert(IsPowerOfTwo(table_entries));
+  (void)IsPowerOfTwo;
+}
+
+bool BranchPredictor::Access(uint64_t site_addr, bool taken) {
+  ++branches_;
+  // Drop low bits that are constant due to site spacing.
+  uint32_t pc = static_cast<uint32_t>(site_addr >> 2);
+  uint32_t index = pc;
+  if (kind_ == PredictorKind::kGshare) {
+    index ^= history_;
+  }
+  index &= mask_;
+
+  uint8_t& counter = counters_[index];
+  bool predicted_taken = counter >= 2;
+  bool mispredicted = predicted_taken != taken;
+  if (mispredicted) ++mispredicts_;
+
+  if (taken) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+  return mispredicted;
+}
+
+void BranchPredictor::Reset() {
+  for (uint8_t& c : counters_) c = 2;
+  history_ = 0;
+  ResetStats();
+}
+
+}  // namespace bufferdb::sim

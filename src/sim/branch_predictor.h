@@ -1,0 +1,52 @@
+#ifndef BUFFERDB_SIM_BRANCH_PREDICTOR_H_
+#define BUFFERDB_SIM_BRANCH_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bufferdb::sim {
+
+enum class PredictorKind : uint8_t {
+  /// 2-bit saturating counters indexed by (PC xor global history). Models the
+  /// paper's observation that interleaving operators mixes branch patterns
+  /// and reduces prediction accuracy.
+  kGshare,
+  /// 2-bit counters indexed by PC alone (ablation baseline).
+  kBimodal,
+};
+
+/// Hardware branch-direction predictor model with a bounded counter table,
+/// as in §4 of the paper ("usually between 512 and 4K branch instructions").
+class BranchPredictor {
+ public:
+  BranchPredictor(PredictorKind kind, uint32_t table_entries,
+                  uint32_t history_bits);
+
+  /// Predicts the branch at `site_addr`, then updates with the actual
+  /// outcome. Returns true if the prediction was wrong.
+  bool Access(uint64_t site_addr, bool taken);
+
+  uint64_t branches() const { return branches_; }
+  uint64_t mispredicts() const { return mispredicts_; }
+  void ResetStats() {
+    branches_ = 0;
+    mispredicts_ = 0;
+  }
+  /// Clears learned state and statistics.
+  void Reset();
+
+  PredictorKind kind() const { return kind_; }
+
+ private:
+  PredictorKind kind_;
+  uint32_t mask_;
+  uint32_t history_mask_;
+  uint32_t history_ = 0;
+  uint64_t branches_ = 0;
+  uint64_t mispredicts_ = 0;
+  std::vector<uint8_t> counters_;
+};
+
+}  // namespace bufferdb::sim
+
+#endif  // BUFFERDB_SIM_BRANCH_PREDICTOR_H_

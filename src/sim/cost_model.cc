@@ -1,0 +1,83 @@
+#include "sim/cost_model.h"
+
+#include <cstdio>
+
+namespace bufferdb::sim {
+
+SimCounters& SimCounters::operator+=(const SimCounters& other) {
+  instructions += other.instructions;
+  module_calls += other.module_calls;
+  l1i_accesses += other.l1i_accesses;
+  l1i_misses += other.l1i_misses;
+  l1d_accesses += other.l1d_accesses;
+  l1d_misses += other.l1d_misses;
+  l2_accesses += other.l2_accesses;
+  l2_misses += other.l2_misses;
+  l2_i_misses += other.l2_i_misses;
+  l2_prefetch_hits += other.l2_prefetch_hits;
+  itlb_accesses += other.itlb_accesses;
+  itlb_misses += other.itlb_misses;
+  branches += other.branches;
+  mispredicts += other.mispredicts;
+  return *this;
+}
+
+SimCounters SimCounters::operator-(const SimCounters& other) const {
+  SimCounters out = *this;
+  out.instructions -= other.instructions;
+  out.module_calls -= other.module_calls;
+  out.l1i_accesses -= other.l1i_accesses;
+  out.l1i_misses -= other.l1i_misses;
+  out.l1d_accesses -= other.l1d_accesses;
+  out.l1d_misses -= other.l1d_misses;
+  out.l2_accesses -= other.l2_accesses;
+  out.l2_misses -= other.l2_misses;
+  out.l2_i_misses -= other.l2_i_misses;
+  out.l2_prefetch_hits -= other.l2_prefetch_hits;
+  out.itlb_accesses -= other.itlb_accesses;
+  out.itlb_misses -= other.itlb_misses;
+  out.branches -= other.branches;
+  out.mispredicts -= other.mispredicts;
+  return out;
+}
+
+CycleBreakdown CycleBreakdown::FromCounters(const SimCounters& counters,
+                                            const SimConfig& config) {
+  CycleBreakdown b;
+  b.counters = counters;
+  b.clock_ghz = config.clock_ghz;
+  b.base_cycles = static_cast<double>(counters.instructions) * config.base_cpi;
+  b.l1i_penalty =
+      static_cast<double>(counters.l1i_misses) * config.l1i_miss_cycles;
+  b.l2_penalty =
+      static_cast<double>(counters.l2_misses) * config.l2_miss_cycles;
+  b.branch_penalty =
+      static_cast<double>(counters.mispredicts) * config.mispredict_cycles;
+  b.l1d_penalty =
+      static_cast<double>(counters.l1d_misses) * config.l1d_miss_cycles;
+  b.itlb_penalty =
+      static_cast<double>(counters.itlb_misses) * config.itlb_miss_cycles;
+  return b;
+}
+
+std::string CycleBreakdown::ToString(const std::string& label) const {
+  char buf[1024];
+  double total = total_cycles();
+  auto pct = [total](double v) { return total > 0 ? 100.0 * v / total : 0.0; };
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-28s %12.4f sim-sec  (CPI %.3f)\n"
+      "  trace-cache miss penalty  %10.2f Mcycles (%5.1f%%)  [%llu misses]\n"
+      "  L2 cache miss penalty     %10.2f Mcycles (%5.1f%%)  [%llu misses]\n"
+      "  branch mispred penalty    %10.2f Mcycles (%5.1f%%)  [%llu mispred]\n"
+      "  other cost                %10.2f Mcycles (%5.1f%%)\n",
+      label.c_str(), seconds(), cpi(), l1i_penalty / 1e6, pct(l1i_penalty),
+      static_cast<unsigned long long>(counters.l1i_misses), l2_penalty / 1e6,
+      pct(l2_penalty), static_cast<unsigned long long>(counters.l2_misses),
+      branch_penalty / 1e6, pct(branch_penalty),
+      static_cast<unsigned long long>(counters.mispredicts),
+      other_cycles() / 1e6, pct(other_cycles()));
+  return buf;
+}
+
+}  // namespace bufferdb::sim

@@ -1,0 +1,186 @@
+#include "sim/sim_cpu.h"
+
+#include "common/rng.h"
+
+namespace bufferdb::sim {
+
+namespace {
+
+constexpr uint64_t kBranchSiteSpacing = 48;
+
+}  // namespace
+
+SimCpu::SimCpu(const SimConfig& config)
+    : config_(config),
+      l1i_(config.l1i.capacity_bytes, config.l1i.line_bytes),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      itlb_(config.itlb_entries, config.page_bytes),
+      predictor_(config.predictor, config.predictor_entries,
+                 config.predictor_history_bits),
+      streams_(config.prefetch_streams) {}
+
+void SimCpu::ExecuteModuleCall(ModuleId module, std::span<const FuncId> funcs) {
+  ++counters_.module_calls;
+  ++call_counter_;
+  if (sink_ != nullptr) sink_->OnModuleCall(module, funcs);
+
+  uint64_t sig = SplitMix64(static_cast<uint64_t>(module) + 1);
+  for (FuncId id : funcs) {
+    sig = SplitMix64(sig ^ (static_cast<uint64_t>(id) + 0x77));
+  }
+
+  const CodeLayout& layout = CodeLayout::Default();
+  if (sig == last_call_sig_ && last_call_fits_l1i_) {
+    counters_.l1i_accesses += last_call_lines_;
+    counters_.instructions += last_call_insns_;
+    for (FuncId id : funcs) RunBranchSites(layout.info(id), module);
+    return;
+  }
+
+  uint64_t footprint_bytes = 0;
+  uint64_t lines = 0;
+  uint64_t insns = 0;
+  for (FuncId id : funcs) {
+    const FuncInfo& func = layout.info(id);
+    for (uint32_t k = 0; k < func.lines; ++k) {
+      FetchInstructionLine(CodeLayout::LineAddress(func, k));
+      ++lines;
+    }
+    footprint_bytes += func.size_bytes;
+    insns += static_cast<uint64_t>(func.size_bytes / 4) * config_.insn_repeat;
+    counters_.instructions +=
+        static_cast<uint64_t>(func.size_bytes / 4) * config_.insn_repeat;
+    RunBranchSites(func, module);
+  }
+  last_call_sig_ = sig;
+  last_call_fits_l1i_ = footprint_bytes <= config_.l1i.capacity_bytes;
+  last_call_lines_ = lines;
+  last_call_insns_ = insns;
+}
+
+void SimCpu::FetchInstructionLine(uint64_t addr) {
+  ++counters_.l1i_accesses;
+  ++counters_.itlb_accesses;
+  if (!itlb_.Access(addr)) ++counters_.itlb_misses;
+  if (l1i_.Access(addr)) return;
+  ++counters_.l1i_misses;
+  ++counters_.l2_accesses;
+  if (!l2_.Access(addr)) {
+    ++counters_.l2_misses;
+    ++counters_.l2_i_misses;
+  }
+}
+
+void SimCpu::RunBranchSites(const FuncInfo& func, ModuleId module) {
+  uint64_t module_salt = SplitMix64(static_cast<uint64_t>(module) + 0x51ULL);
+  for (uint32_t s = 0; s < func.branch_sites; ++s) {
+    uint64_t site = func.base_addr + s * kBranchSiteSpacing;
+    uint64_t site_hash = SplitMix64(site);
+    uint64_t cls = site_hash % 100;
+    bool taken;
+    if (cls < 25) {
+      // Context-biased: direction depends on the calling module ("these
+      // functions may have different branching patterns when called by
+      // different operators", §4); outcome follows it 95% of the time.
+      bool dir = (SplitMix64(site ^ module_salt) & 1) != 0;
+      bool common = SplitMix64(site ^ module_salt ^
+                               (call_counter_ * 0x9e3779b9ULL)) %
+                        100 <
+                    95;
+      taken = common ? dir : !dir;
+    } else if (cls < 70) {
+      // Globally biased: same dominant direction in every calling context.
+      bool dir = (site_hash >> 13 & 1) != 0;
+      bool common =
+          SplitMix64(site ^ (call_counter_ * 0x51ed27ULL)) % 100 < 95;
+      taken = common ? dir : !dir;
+    } else if (cls < 85) {
+      // Loop-like pattern with a short period; predictable via history.
+      uint64_t period = 2 + (site_hash >> 7) % 7;
+      taken = (call_counter_ % period) != 0;
+    } else {
+      // Data-dependent 50/50 noise.
+      taken = (SplitMix64(site ^ (call_counter_ * 0xabcdefULL)) & 1) != 0;
+    }
+    if (predictor_.Access(site, taken)) ++counters_.mispredicts;
+    ++counters_.branches;
+  }
+}
+
+void SimCpu::TouchData(const void* addr, size_t bytes) {
+  TouchDataAddr(reinterpret_cast<uint64_t>(addr), bytes);
+}
+
+void SimCpu::TouchDataAddr(uint64_t addr, size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  uint64_t line = config_.l1d.line_bytes;
+  uint64_t first = addr & ~(line - 1);
+  uint64_t last = (addr + bytes - 1) & ~(line - 1);
+  for (uint64_t a = first; a <= last; a += line) {
+    ++counters_.l1d_accesses;
+    if (l1d_.Access(a)) continue;
+    ++counters_.l1d_misses;
+    AccessL2Data(a);
+  }
+}
+
+void SimCpu::AccessL2Data(uint64_t addr) {
+  ++counters_.l2_accesses;
+  uint64_t l2_line_bytes = config_.l2.line_bytes;
+  uint64_t line = addr / l2_line_bytes;
+  bool hit = l2_.Access(addr);
+  uint64_t before_prefetch_hits = l2_.stats().prefetch_hits;
+  (void)before_prefetch_hits;
+  if (!hit) ++counters_.l2_misses;
+  counters_.l2_prefetch_hits = l2_.stats().prefetch_hits;
+
+  if (!config_.hardware_prefetch) return;
+
+  // Sequential stream detection: a second consecutive line confirms a
+  // stream; confirmed streams prefetch `prefetch_degree` lines ahead.
+  ++stream_tick_;
+  for (PrefetchStream& s : streams_) {
+    if (s.next_line == line) {
+      s.confirmed = true;
+      s.next_line = line + 1;
+      s.lru = stream_tick_;
+      for (uint32_t d = 1; d <= config_.prefetch_degree; ++d) {
+        l2_.Prefetch((line + d) * l2_line_bytes);
+      }
+      return;
+    }
+  }
+  // Allocate a new (unconfirmed) stream over the LRU slot.
+  PrefetchStream* victim = &streams_[0];
+  for (PrefetchStream& s : streams_) {
+    if (s.lru < victim->lru) victim = &s;
+  }
+  victim->next_line = line + 1;
+  victim->confirmed = false;
+  victim->lru = stream_tick_;
+}
+
+void SimCpu::ResetCounters() {
+  counters_ = SimCounters();
+  l1i_.ResetStats();
+  l1d_.ResetStats();
+  l2_.ResetStats();
+  itlb_.ResetStats();
+  predictor_.ResetStats();
+}
+
+void SimCpu::Reset() {
+  ResetCounters();
+  l1i_.Flush();
+  l1d_.Flush();
+  l2_.Flush();
+  itlb_.Flush();
+  predictor_.Reset();
+  for (PrefetchStream& s : streams_) s = PrefetchStream();
+  call_counter_ = 0;
+  last_call_sig_ = 0;
+  last_call_fits_l1i_ = false;
+}
+
+}  // namespace bufferdb::sim

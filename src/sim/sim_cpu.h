@@ -1,0 +1,106 @@
+#ifndef BUFFERDB_SIM_SIM_CPU_H_
+#define BUFFERDB_SIM_SIM_CPU_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/branch_predictor.h"
+#include "sim/cache.h"
+#include "sim/code_layout.h"
+#include "sim/cost_model.h"
+
+namespace bufferdb::sim {
+
+/// Observer of dynamic module calls; implemented by the profiler to build
+/// runtime call graphs (the paper's VTune-based footprint measurement, §7.1).
+class CallGraphSink {
+ public:
+  virtual ~CallGraphSink() = default;
+  virtual void OnModuleCall(ModuleId module, std::span<const FuncId> funcs) = 0;
+};
+
+/// Deterministic CPU front-end/memory simulator.
+///
+/// This stands in for the paper's Pentium 4 hardware counters (VTune): the
+/// query engine drives it with one ExecuteModuleCall per operator Next()
+/// invocation plus TouchData calls for tuple/working-memory accesses, and it
+/// maintains an L1-I (trace cache equivalent), L1-D, unified L2 with a
+/// sequential hardware prefetcher, an ITLB and a gshare branch predictor.
+///
+/// Branch outcomes are synthesized deterministically per site:
+///  - ~70% are context-biased: strongly taken or not-taken depending on the
+///    *calling module* (the paper's "functions shared by operators have
+///    different branching patterns when called by different operators", §4);
+///  - ~15% follow short loop-like patterns, predictable when the global
+///    history is not polluted by interleaved operators;
+///  - ~15% are data-dependent 50/50 noise.
+class SimCpu {
+ public:
+  explicit SimCpu(const SimConfig& config = SimConfig());
+
+  SimCpu(const SimCpu&) = delete;
+  SimCpu& operator=(const SimCpu&) = delete;
+
+  /// Simulates one invocation of an operator whose hot code is `funcs`:
+  /// fetches every instruction line (through ITLB, L1-I, L2), retires
+  /// size/4 x insn_repeat instructions, and runs all branch sites.
+  void ExecuteModuleCall(ModuleId module, std::span<const FuncId> funcs);
+
+  /// Simulates data access to [addr, addr+bytes) through L1-D and L2.
+  void TouchData(const void* addr, size_t bytes);
+  void TouchDataAddr(uint64_t addr, size_t bytes);
+
+  const SimConfig& config() const { return config_; }
+  const SimCounters& counters() const { return counters_; }
+  CycleBreakdown Breakdown() const {
+    return CycleBreakdown::FromCounters(counters_, config_);
+  }
+
+  void ResetCounters();
+  /// Cold-starts caches, TLB and predictor in addition to the counters.
+  void Reset();
+
+  void set_call_graph_sink(CallGraphSink* sink) { sink_ = sink; }
+
+  const FullyAssocLruCache& l1i() const { return l1i_; }
+  const SetAssocCache& l1d() const { return l1d_; }
+  const SetAssocCache& l2() const { return l2_; }
+
+ private:
+  void FetchInstructionLine(uint64_t addr);
+  void AccessL2Data(uint64_t line_addr);
+  void RunBranchSites(const FuncInfo& func, ModuleId module);
+
+  struct PrefetchStream {
+    uint64_t next_line = ~0ULL;
+    uint64_t lru = 0;
+    bool confirmed = false;
+  };
+
+  SimConfig config_;
+  // Fast path: when the same module executes twice in a row and its whole
+  // footprint fits in L1-I, the second call's instruction lines are
+  // guaranteed resident, so cache probing is skipped and hits are counted
+  // directly. Branch-predictor and retirement accounting still run.
+  uint64_t last_call_sig_ = 0;
+  bool last_call_fits_l1i_ = false;
+  uint64_t last_call_lines_ = 0;
+  uint64_t last_call_insns_ = 0;
+  // Trace-cache equivalent: fully associative over its capacity (see
+  // FullyAssocLruCache) — the paper reasons about it purely by capacity.
+  FullyAssocLruCache l1i_;
+  SetAssocCache l1d_;
+  SetAssocCache l2_;
+  Itlb itlb_;
+  BranchPredictor predictor_;
+  std::vector<PrefetchStream> streams_;
+  uint64_t stream_tick_ = 0;
+  uint64_t call_counter_ = 0;
+  SimCounters counters_;
+  CallGraphSink* sink_ = nullptr;
+};
+
+}  // namespace bufferdb::sim
+
+#endif  // BUFFERDB_SIM_SIM_CPU_H_

@@ -1,0 +1,35 @@
+#ifndef BUFFERDB_SQL_BINDER_H_
+#define BUFFERDB_SQL_BINDER_H_
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+#include "sql/parser.h"
+
+namespace bufferdb::sql {
+
+/// Resolves a parsed SELECT against the catalog, producing the planner's
+/// LogicalQuery:
+///  - FROM tables are looked up (1 or 2 supported);
+///  - WHERE conjuncts are classified into per-table filters, one equi-join
+///    predicate, and a residual cross-table predicate;
+///  - SELECT items are type-checked and bound to the (joined) input schema.
+///
+/// Restrictions of the subset (diagnosed, not silently ignored): every
+/// GROUP BY column must be selected, non-aggregate select items must be
+/// GROUP BY columns and precede all aggregates.
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  Result<LogicalQuery> Bind(const SelectStatement& stmt);
+
+  /// Convenience: parse + bind.
+  Result<LogicalQuery> BindSql(const std::string& sql);
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace bufferdb::sql
+
+#endif  // BUFFERDB_SQL_BINDER_H_

@@ -1,0 +1,87 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace bufferdb::sql {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = sql.substr(start, i - start);
+      for (char& ch : token.text) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') is_float = true;
+        ++i;
+      }
+      token.text = sql.substr(start, i - start);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.float_value = std::strtod(token.text.c_str(), nullptr);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = std::strtoll(token.text.c_str(), nullptr, 10);
+      }
+    } else if (c == '\'') {
+      ++i;
+      size_t start = i;
+      while (i < n && sql[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal");
+      }
+      token.type = TokenType::kString;
+      token.text = sql.substr(start, i - start);
+      ++i;  // Closing quote.
+    } else {
+      // Two-character operators first.
+      if (i + 1 < n) {
+        std::string two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          token.type = TokenType::kSymbol;
+          token.text = two == "!=" ? "<>" : two;
+          tokens.push_back(token);
+          i += 2;
+          continue;
+        }
+      }
+      static const std::string kSingles = "(),*+-/=<>.;";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+      }
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(token);
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace bufferdb::sql

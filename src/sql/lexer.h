@@ -1,0 +1,35 @@
+#ifndef BUFFERDB_SQL_LEXER_H_
+#define BUFFERDB_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bufferdb::sql {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  // May be a keyword; parser matches case-insensitively.
+  kInteger,
+  kFloat,
+  kString,     // 'quoted'
+  kSymbol,     // One of ( ) , * + - / = < > <= >= <> . ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // Original text (identifiers uppercased for matching).
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;  // For error messages.
+};
+
+/// Tokenizes a SQL string. Identifiers are case-insensitive (normalized to
+/// lowercase in `text`); keywords are just identifiers.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace bufferdb::sql
+
+#endif  // BUFFERDB_SQL_LEXER_H_

@@ -1,0 +1,77 @@
+#ifndef BUFFERDB_SQL_PARSER_H_
+#define BUFFERDB_SQL_PARSER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/status.h"
+#include "exec/aggregation.h"
+#include "expr/expression.h"
+#include "sql/lexer.h"
+
+namespace bufferdb::sql {
+
+/// Untyped parse-tree expression (resolved against the catalog by the
+/// binder).
+struct ParseExpr {
+  enum class Kind : uint8_t {
+    kColumn,   // text = possibly qualified name ("lineitem.l_shipdate").
+    kLiteral,  // literal carries the value (int/float/string/date).
+    kBinary,
+    kUnary,
+  };
+
+  Kind kind;
+  std::string column_name;
+  Value literal;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNegate;
+  std::unique_ptr<ParseExpr> left;
+  std::unique_ptr<ParseExpr> right;
+
+  std::string ToString() const;
+};
+
+using ParseExprPtr = std::unique_ptr<ParseExpr>;
+
+struct ParsedSelectItem {
+  bool is_aggregate = false;
+  AggFunc agg_func = AggFunc::kCountStar;
+  ParseExprPtr expr;  // Aggregate argument or plain expression; null for
+                      // COUNT(*).
+  std::string alias;  // Empty if none given.
+};
+
+struct ParsedOrderBy {
+  std::string column;  // Output-column name or alias.
+  bool descending = false;
+};
+
+/// One SELECT statement of the supported subset:
+///   SELECT [DISTINCT] item [, item]*
+///   FROM table [, table]*
+///   [WHERE predicate]          -- AND/OR/NOT, comparisons, BETWEEN, IN, LIKE
+///   [GROUP BY column [, column]*]
+///   [HAVING predicate]         -- over output columns/aliases
+///   [ORDER BY column [ASC|DESC] [, ...]]
+///   [LIMIT n]
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<ParsedSelectItem> items;
+  std::vector<std::string> from_tables;
+  ParseExprPtr where;
+  std::vector<std::string> group_by;
+  ParseExprPtr having;
+  std::vector<ParsedOrderBy> order_by;
+  std::optional<int64_t> limit;
+};
+
+/// Parses one SELECT statement (trailing ';' optional).
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace bufferdb::sql
+
+#endif  // BUFFERDB_SQL_PARSER_H_

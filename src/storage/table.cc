@@ -1,0 +1,47 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bufferdb {
+
+const uint8_t* Table::AppendRow(const std::vector<Value>& values) {
+  assert(values.size() == schema_.num_columns());
+  TupleBuilder builder(&schema_);
+  for (size_t i = 0; i < values.size(); ++i) builder.Set(i, values[i]);
+  stats_computed_ = false;
+  return Append(builder);
+}
+
+const ColumnStats& Table::stats(size_t col) {
+  if (!stats_computed_) {
+    stats_.assign(schema_.num_columns(), ColumnStats());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      if (!IsNumeric(schema_.column(c).type)) continue;
+      ColumnStats& s = stats_[c];
+      bool first = true;
+      for (const uint8_t* row : rows_) {
+        TupleView v(row, &schema_);
+        if (v.IsNull(c)) {
+          ++s.null_count;
+          continue;
+        }
+        double x = schema_.column(c).type == DataType::kDouble
+                       ? v.GetDouble(c)
+                       : static_cast<double>(v.GetInt64(c));
+        if (first) {
+          s.min = s.max = x;
+          first = false;
+        } else {
+          s.min = std::min(s.min, x);
+          s.max = std::max(s.max, x);
+        }
+      }
+      s.valid = !first;
+    }
+    stats_computed_ = true;
+  }
+  return stats_[col];
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,68 @@
+#ifndef BUFFERDB_STORAGE_TABLE_H_
+#define BUFFERDB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/arena.h"
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+/// Per-column min/max/count statistics used by the planner's cardinality
+/// estimation (numeric columns only).
+struct ColumnStats {
+  bool valid = false;
+  double min = 0;
+  double max = 0;
+  uint64_t null_count = 0;
+};
+
+/// Memory-resident append-only table of packed rows. Rows live in the
+/// table's arena for the lifetime of the table (the paper's experiments are
+/// all on a memory-resident database).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a row of boxed values. Returns the stored row pointer.
+  const uint8_t* AppendRow(const std::vector<Value>& values);
+
+  /// Appends an already-staged builder row.
+  const uint8_t* Append(const TupleBuilder& builder) {
+    const uint8_t* row = builder.Finish(&arena_);
+    rows_.push_back(row);
+    return row;
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+  const uint8_t* row(size_t i) const { return rows_[i]; }
+  const std::vector<const uint8_t*>& rows() const { return rows_; }
+
+  TupleView view(size_t i) const { return TupleView(rows_[i], &schema_); }
+
+  /// Computes (and caches) column statistics.
+  const ColumnStats& stats(size_t col);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  Arena arena_;
+  std::vector<const uint8_t*> rows_;
+  std::vector<ColumnStats> stats_;
+  bool stats_computed_ = false;
+};
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_STORAGE_TABLE_H_

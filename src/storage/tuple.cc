@@ -1,0 +1,147 @@
+#include "storage/tuple.h"
+
+#include <cassert>
+
+namespace bufferdb {
+
+Value TupleView::GetValue(size_t col) const {
+  if (IsNull(col)) return Value::Null(schema_->column(col).type);
+  switch (schema_->column(col).type) {
+    case DataType::kBool:
+      return Value::Bool(GetBool(col));
+    case DataType::kInt64:
+      return Value::Int64(GetInt64(col));
+    case DataType::kDouble:
+      return Value::Double(GetDouble(col));
+    case DataType::kDate:
+      return Value::Date(GetDate(col));
+    case DataType::kString:
+      return Value::String(std::string(GetString(col)));
+  }
+  return Value();
+}
+
+std::string TupleView::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < schema_->num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += GetValue(i).ToString();
+  }
+  out += "]";
+  return out;
+}
+
+const uint8_t* TupleBuilder::Finish(Arena* arena) const {
+  size_t fixed = schema_->fixed_bytes();
+  size_t var_bytes = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (schema_->column(i).type == DataType::kString && !values_[i].is_null()) {
+      var_bytes += values_[i].string_value().size();
+    }
+  }
+  size_t total = fixed + var_bytes;
+  assert(total <= UINT32_MAX);
+  uint8_t* row = arena->Allocate(total);
+
+  uint32_t total32 = static_cast<uint32_t>(total);
+  std::memcpy(row, &total32, 4);
+  uint64_t bitmap = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i].is_null()) bitmap |= (uint64_t{1} << i);
+  }
+  std::memcpy(row + 8, &bitmap, 8);
+
+  uint32_t var_offset = static_cast<uint32_t>(fixed);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    uint8_t* slot = row + Schema::kHeaderBytes + 8 * i;
+    const Value& v = values_[i];
+    if (v.is_null()) {
+      std::memset(slot, 0, 8);
+      continue;
+    }
+    switch (schema_->column(i).type) {
+      case DataType::kBool:
+      case DataType::kInt64:
+      case DataType::kDate: {
+        int64_t x = v.int64_value();
+        std::memcpy(slot, &x, 8);
+        break;
+      }
+      case DataType::kDouble: {
+        double x = v.type() == DataType::kDouble
+                       ? v.double_value()
+                       : v.AsDouble();  // Allow int-typed values.
+        std::memcpy(slot, &x, 8);
+        break;
+      }
+      case DataType::kString: {
+        const std::string& s = v.string_value();
+        uint64_t packed = (static_cast<uint64_t>(var_offset) << 32) |
+                          static_cast<uint32_t>(s.size());
+        std::memcpy(slot, &packed, 8);
+        std::memcpy(row + var_offset, s.data(), s.size());
+        var_offset += static_cast<uint32_t>(s.size());
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+const uint8_t* TupleBuilder::ConcatRows(const Schema& out_schema,
+                                        const Schema& left_schema,
+                                        const uint8_t* left,
+                                        const Schema& right_schema,
+                                        const uint8_t* right, Arena* arena) {
+  TupleView lv(left, &left_schema);
+  TupleView rv(right, &right_schema);
+  size_t ln = left_schema.num_columns();
+  size_t rn = right_schema.num_columns();
+
+  size_t fixed = out_schema.fixed_bytes();
+  size_t var_bytes = 0;
+  for (size_t i = 0; i < ln; ++i) {
+    if (left_schema.column(i).type == DataType::kString && !lv.IsNull(i)) {
+      var_bytes += lv.GetString(i).size();
+    }
+  }
+  for (size_t i = 0; i < rn; ++i) {
+    if (right_schema.column(i).type == DataType::kString && !rv.IsNull(i)) {
+      var_bytes += rv.GetString(i).size();
+    }
+  }
+  size_t total = fixed + var_bytes;
+  uint8_t* row = arena->Allocate(total);
+  uint32_t total32 = static_cast<uint32_t>(total);
+  std::memcpy(row, &total32, 4);
+
+  uint64_t bitmap = 0;
+  uint32_t var_offset = static_cast<uint32_t>(fixed);
+  for (size_t out = 0; out < ln + rn; ++out) {
+    bool from_left = out < ln;
+    const TupleView& src = from_left ? lv : rv;
+    const Schema& src_schema = from_left ? left_schema : right_schema;
+    size_t src_col = from_left ? out : out - ln;
+    uint8_t* slot = row + Schema::kHeaderBytes + 8 * out;
+    if (src.IsNull(src_col)) {
+      bitmap |= (uint64_t{1} << out);
+      std::memset(slot, 0, 8);
+      continue;
+    }
+    if (src_schema.column(src_col).type == DataType::kString) {
+      std::string_view s = src.GetString(src_col);
+      uint64_t packed = (static_cast<uint64_t>(var_offset) << 32) |
+                        static_cast<uint32_t>(s.size());
+      std::memcpy(slot, &packed, 8);
+      std::memcpy(row + var_offset, s.data(), s.size());
+      var_offset += static_cast<uint32_t>(s.size());
+    } else {
+      int64_t raw = src.GetInt64(src_col);  // Bit-copy works for all fixed.
+      std::memcpy(slot, &raw, 8);
+    }
+  }
+  std::memcpy(row + 8, &bitmap, 8);
+  return row;
+}
+
+}  // namespace bufferdb

@@ -1,0 +1,110 @@
+#include "tpch/tbl_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/date.h"
+
+namespace bufferdb::tpch {
+
+Status WriteTbl(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const Schema& schema = table.schema();
+  char buf[64];
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    TupleView view = table.view(r);
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (view.IsNull(c)) {
+        out << '|';
+        continue;
+      }
+      switch (schema.column(c).type) {
+        case DataType::kBool:
+          out << (view.GetBool(c) ? "1" : "0");
+          break;
+        case DataType::kInt64:
+          out << view.GetInt64(c);
+          break;
+        case DataType::kDouble:
+          std::snprintf(buf, sizeof(buf), "%.2f", view.GetDouble(c));
+          out << buf;
+          break;
+        case DataType::kDate:
+          out << DateToString(view.GetDate(c));
+          break;
+        case DataType::kString:
+          out << view.GetString(c);
+          break;
+      }
+      out << '|';
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Table>> ReadTbl(const std::string& table_name,
+                                       const Schema& schema,
+                                       const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  auto table = std::make_unique<Table>(table_name, schema);
+  TupleBuilder builder(&table->schema());
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    builder.Reset();
+    size_t start = 0;
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      size_t bar = line.find('|', start);
+      if (bar == std::string::npos) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": expected " +
+                                  std::to_string(schema.num_columns()) +
+                                  " fields");
+      }
+      std::string field = line.substr(start, bar - start);
+      start = bar + 1;
+      if (field.empty()) {
+        builder.SetNull(c);
+        continue;
+      }
+      switch (schema.column(c).type) {
+        case DataType::kBool:
+          builder.SetBool(c, field != "0");
+          break;
+        case DataType::kInt64:
+          builder.SetInt64(c, std::strtoll(field.c_str(), nullptr, 10));
+          break;
+        case DataType::kDouble:
+          builder.SetDouble(c, std::strtod(field.c_str(), nullptr));
+          break;
+        case DataType::kDate: {
+          auto days = ParseDate(field);
+          if (!days.ok()) {
+            return Status::ParseError("line " + std::to_string(line_no) +
+                                      ": bad date '" + field + "'");
+          }
+          builder.SetDate(c, *days);
+          break;
+        }
+        case DataType::kString:
+          builder.SetString(c, std::move(field));
+          break;
+      }
+    }
+    table->Append(builder);
+  }
+  return table;
+}
+
+}  // namespace bufferdb::tpch

@@ -1,0 +1,25 @@
+#ifndef BUFFERDB_TPCH_TBL_IO_H_
+#define BUFFERDB_TPCH_TBL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace bufferdb::tpch {
+
+/// Writes a table in the classic dbgen `.tbl` format: '|'-separated fields,
+/// one trailing '|' per row. Dates render as YYYY-MM-DD, doubles with two
+/// decimals (dbgen's money format), NULLs as empty fields.
+Status WriteTbl(const Table& table, const std::string& path);
+
+/// Reads a `.tbl` file into a new table with the given name and schema.
+/// Empty fields load as NULL.
+Result<std::unique_ptr<Table>> ReadTbl(const std::string& table_name,
+                                       const Schema& schema,
+                                       const std::string& path);
+
+}  // namespace bufferdb::tpch
+
+#endif  // BUFFERDB_TPCH_TBL_IO_H_

@@ -1,0 +1,90 @@
+#include "tpch/tpch_schema.h"
+
+namespace bufferdb::tpch {
+
+Schema RegionSchema() {
+  return Schema({{"r_regionkey", DataType::kInt64},
+                 {"r_name", DataType::kString},
+                 {"r_comment", DataType::kString}});
+}
+
+Schema NationSchema() {
+  return Schema({{"n_nationkey", DataType::kInt64},
+                 {"n_name", DataType::kString},
+                 {"n_regionkey", DataType::kInt64},
+                 {"n_comment", DataType::kString}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", DataType::kInt64},
+                 {"s_name", DataType::kString},
+                 {"s_address", DataType::kString},
+                 {"s_nationkey", DataType::kInt64},
+                 {"s_phone", DataType::kString},
+                 {"s_acctbal", DataType::kDouble},
+                 {"s_comment", DataType::kString}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", DataType::kInt64},
+                 {"c_name", DataType::kString},
+                 {"c_address", DataType::kString},
+                 {"c_nationkey", DataType::kInt64},
+                 {"c_phone", DataType::kString},
+                 {"c_acctbal", DataType::kDouble},
+                 {"c_mktsegment", DataType::kString},
+                 {"c_comment", DataType::kString}});
+}
+
+Schema PartSchema() {
+  return Schema({{"p_partkey", DataType::kInt64},
+                 {"p_name", DataType::kString},
+                 {"p_mfgr", DataType::kString},
+                 {"p_brand", DataType::kString},
+                 {"p_type", DataType::kString},
+                 {"p_size", DataType::kInt64},
+                 {"p_container", DataType::kString},
+                 {"p_retailprice", DataType::kDouble},
+                 {"p_comment", DataType::kString}});
+}
+
+Schema PartSuppSchema() {
+  return Schema({{"ps_partkey", DataType::kInt64},
+                 {"ps_suppkey", DataType::kInt64},
+                 {"ps_availqty", DataType::kInt64},
+                 {"ps_supplycost", DataType::kDouble},
+                 {"ps_comment", DataType::kString}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", DataType::kInt64},
+                 {"o_custkey", DataType::kInt64},
+                 {"o_orderstatus", DataType::kString},
+                 {"o_totalprice", DataType::kDouble},
+                 {"o_orderdate", DataType::kDate},
+                 {"o_orderpriority", DataType::kString},
+                 {"o_clerk", DataType::kString},
+                 {"o_shippriority", DataType::kInt64},
+                 {"o_comment", DataType::kString}});
+}
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", DataType::kInt64},
+                 {"l_partkey", DataType::kInt64},
+                 {"l_suppkey", DataType::kInt64},
+                 {"l_linenumber", DataType::kInt64},
+                 {"l_quantity", DataType::kDouble},
+                 {"l_extendedprice", DataType::kDouble},
+                 {"l_discount", DataType::kDouble},
+                 {"l_tax", DataType::kDouble},
+                 {"l_returnflag", DataType::kString},
+                 {"l_linestatus", DataType::kString},
+                 {"l_shipdate", DataType::kDate},
+                 {"l_commitdate", DataType::kDate},
+                 {"l_receiptdate", DataType::kDate},
+                 {"l_shipinstruct", DataType::kString},
+                 {"l_shipmode", DataType::kString},
+                 {"l_comment", DataType::kString}});
+}
+
+}  // namespace bufferdb::tpch

@@ -1,0 +1,23 @@
+#ifndef BUFFERDB_TPCH_TPCH_SCHEMA_H_
+#define BUFFERDB_TPCH_TPCH_SCHEMA_H_
+
+#include "catalog/schema.h"
+
+namespace bufferdb::tpch {
+
+/// TPC-H table schemas. Column names and types follow the TPC-H
+/// specification; NUMERIC columns are mapped to DOUBLE and text columns to
+/// STRING (comments are shortened — they never participate in the paper's
+/// queries).
+Schema RegionSchema();
+Schema NationSchema();
+Schema SupplierSchema();
+Schema CustomerSchema();
+Schema PartSchema();
+Schema PartSuppSchema();
+Schema OrdersSchema();
+Schema LineitemSchema();
+
+}  // namespace bufferdb::tpch
+
+#endif  // BUFFERDB_TPCH_TPCH_SCHEMA_H_

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "sql/binder.h"
+#include "test_util.h"
+#include "tpch/tpch_gen.h"
+
+namespace bufferdb::sql {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.001;
+    ASSERT_TRUE(tpch::LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  LogicalQuery MustBind(const std::string& sql) {
+    Binder binder(catalog_);
+    auto q = binder.BindSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return q.ok() ? std::move(*q) : LogicalQuery{};
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* BinderTest::catalog_ = nullptr;
+
+TEST_F(BinderTest, SingleTableAggregateQuery) {
+  LogicalQuery q = MustBind(
+      "SELECT SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS s, "
+      "AVG(l_quantity) AS a, COUNT(*) AS c "
+      "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'");
+  ASSERT_EQ(q.tables.size(), 1u);
+  EXPECT_EQ(q.tables[0]->name(), "lineitem");
+  ASSERT_NE(q.filters[0], nullptr);
+  EXPECT_TRUE(q.has_aggregates);
+  ASSERT_EQ(q.items.size(), 3u);
+  EXPECT_EQ(q.items[0].agg, AggFunc::kSum);
+  EXPECT_EQ(q.items[0].name, "s");
+  EXPECT_EQ(q.items[0].expr->result_type(), DataType::kDouble);
+  EXPECT_EQ(q.items[2].agg, AggFunc::kCountStar);
+}
+
+TEST_F(BinderTest, JoinDetectedAndFiltersClassified) {
+  LogicalQuery q = MustBind(
+      "SELECT SUM(o_totalprice), COUNT(*), AVG(l_discount) "
+      "FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02'");
+  ASSERT_EQ(q.tables.size(), 2u);
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(q.tables[0]->schema().column(q.joins[0].left_col).name,
+            "l_orderkey");
+  EXPECT_EQ(q.tables[1]->schema().column(q.joins[0].right_col).name,
+            "o_orderkey");
+  // Shipdate filter pushed to lineitem, none on orders, no cross preds.
+  ASSERT_NE(q.filters[0], nullptr);
+  EXPECT_EQ(q.filters[1], nullptr);
+  EXPECT_TRUE(q.cross_predicates.empty());
+  // Pushed filter is bound to lineitem's local schema.
+  EXPECT_TRUE(ExprBoundTo(*q.filters[0],
+                          q.tables[0]->schema().num_columns()));
+}
+
+TEST_F(BinderTest, JoinColumnOrderNormalized) {
+  // Reversed equi-join spelling still maps left table -> left column.
+  LogicalQuery q = MustBind(
+      "SELECT COUNT(*) FROM lineitem, orders WHERE o_orderkey = l_orderkey");
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(q.joins[0].left_table, 0);
+  EXPECT_EQ(q.tables[0]->schema().column(q.joins[0].left_col).name,
+            "l_orderkey");
+}
+
+TEST_F(BinderTest, FiltersOnBothTables) {
+  LogicalQuery q = MustBind(
+      "SELECT COUNT(*) FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_quantity > 10 "
+      "AND o_orderdate < DATE '1995-01-01'");
+  ASSERT_NE(q.filters[0], nullptr);
+  ASSERT_NE(q.filters[1], nullptr);
+}
+
+TEST_F(BinderTest, ResidualCrossTablePredicate) {
+  LogicalQuery q = MustBind(
+      "SELECT COUNT(*) FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_extendedprice > o_totalprice");
+  ASSERT_EQ(q.cross_predicates.size(), 1u);
+  EXPECT_TRUE(
+      ExprBoundTo(*q.cross_predicates[0], q.input_schema.num_columns()));
+}
+
+TEST_F(BinderTest, QualifiedColumns) {
+  LogicalQuery q = MustBind(
+      "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > 5");
+  ASSERT_NE(q.filters[0], nullptr);
+}
+
+TEST_F(BinderTest, GroupByQuery) {
+  LogicalQuery q = MustBind(
+      "SELECT l_returnflag, COUNT(*) AS c FROM lineitem "
+      "GROUP BY l_returnflag");
+  ASSERT_EQ(q.items.size(), 2u);
+  EXPECT_TRUE(q.items[0].is_group_key);
+  EXPECT_FALSE(q.items[0].is_aggregate);
+  EXPECT_TRUE(q.items[1].is_aggregate);
+}
+
+TEST_F(BinderTest, PlainProjectionQuery) {
+  LogicalQuery q = MustBind(
+      "SELECT l_orderkey, l_quantity * 2 AS dbl FROM lineitem "
+      "WHERE l_linenumber = 1 LIMIT 5");
+  EXPECT_FALSE(q.has_aggregates);
+  ASSERT_EQ(q.items.size(), 2u);
+  EXPECT_EQ(q.items[1].name, "dbl");
+  EXPECT_EQ(q.limit, 5);
+}
+
+TEST_F(BinderTest, Errors) {
+  Binder binder(catalog_);
+  EXPECT_FALSE(binder.BindSql("SELECT x FROM nosuchtable").ok());
+  EXPECT_FALSE(binder.BindSql("SELECT nosuchcol FROM lineitem").ok());
+  EXPECT_FALSE(
+      binder.BindSql("SELECT COUNT(*) FROM lineitem, orders").ok());
+  // Non-grouped plain column with aggregates.
+  EXPECT_FALSE(binder.BindSql(
+                         "SELECT l_orderkey, COUNT(*) FROM lineitem")
+                   .ok());
+  // Aggregate before group key.
+  EXPECT_FALSE(binder.BindSql("SELECT COUNT(*), l_returnflag FROM lineitem "
+                              "GROUP BY l_returnflag")
+                   .ok());
+  // Comparing string with number.
+  EXPECT_FALSE(
+      binder.BindSql("SELECT COUNT(*) FROM lineitem WHERE l_returnflag = 3")
+          .ok());
+  // Non-boolean WHERE.
+  EXPECT_FALSE(
+      binder.BindSql("SELECT COUNT(*) FROM lineitem WHERE l_quantity").ok());
+  // Three tables without join predicates.
+  EXPECT_FALSE(binder.BindSql(
+                         "SELECT COUNT(*) FROM lineitem, orders, customer")
+                   .ok());
+}
+
+TEST_F(BinderTest, ThreeTableJoinEdges) {
+  LogicalQuery q = MustBind(
+      "SELECT COUNT(*) FROM customer, orders, lineitem "
+      "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+      "AND c_acctbal > 0");
+  ASSERT_EQ(q.tables.size(), 3u);
+  ASSERT_EQ(q.joins.size(), 2u);
+  EXPECT_EQ(q.joins[0].left_table, 0);   // customer-orders.
+  EXPECT_EQ(q.joins[0].right_table, 1);
+  EXPECT_EQ(q.joins[1].left_table, 1);   // orders-lineitem.
+  EXPECT_EQ(q.joins[1].right_table, 2);
+  ASSERT_NE(q.filters[0], nullptr);      // acctbal filter on customer.
+  EXPECT_EQ(q.input_schema.num_columns(),
+            q.tables[0]->schema().num_columns() +
+                q.tables[1]->schema().num_columns() +
+                q.tables[2]->schema().num_columns());
+}
+
+TEST_F(BinderTest, DefaultNamesAreGenerated) {
+  LogicalQuery q = MustBind("SELECT SUM(l_quantity), COUNT(*) FROM lineitem");
+  ASSERT_EQ(q.items.size(), 2u);
+  EXPECT_EQ(q.items[0].name, "sum_0");
+  EXPECT_EQ(q.items[1].name, "count_1");
+}
+
+}  // namespace
+}  // namespace bufferdb::sql

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/cache.h"
+
+namespace bufferdb::sim {
+namespace {
+
+TEST(SetAssocCacheTest, FirstAccessMissesThenHits) {
+  SetAssocCache cache({1024, 64, 2});
+  EXPECT_FALSE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(63));   // Same line.
+  EXPECT_FALSE(cache.Access(64));  // Next line.
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(SetAssocCacheTest, WorkingSetWithinCapacityAllHitsAfterWarmup) {
+  SetAssocCache cache({16 * 1024, 64, 8});
+  for (uint64_t a = 0; a < 16 * 1024; a += 64) cache.Access(a);
+  cache.ResetStats();
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t a = 0; a < 16 * 1024; a += 64) cache.Access(a);
+  }
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(SetAssocCacheTest, CyclicOverCapacityThrashesWithLru) {
+  // Classic LRU pathology: sequential loop over capacity+1 sets misses
+  // every access.
+  SetAssocCache cache({1024, 64, 2});  // 16 lines.
+  const uint64_t lines = 32;           // 2x capacity.
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t l = 0; l < lines; ++l) cache.Access(l * 64);
+  }
+  // After warmup rounds, miss rate remains 100%.
+  cache.ResetStats();
+  for (uint64_t l = 0; l < lines; ++l) cache.Access(l * 64);
+  EXPECT_EQ(cache.stats().misses, lines);
+}
+
+TEST(SetAssocCacheTest, LruEvictsLeastRecentlyUsed) {
+  // 1 set, 2 ways, 64B lines: addresses 0, S, 2S map to the same set where
+  // S = sets*64. With sets = capacity/(64*2) = 1.
+  SetAssocCache cache({128, 64, 2});
+  EXPECT_EQ(cache.num_sets(), 1u);
+  cache.Access(0);    // Miss, resident: {0}
+  cache.Access(64);   // Miss, resident: {0, 64}
+  cache.Access(0);    // Hit, 64 is now LRU.
+  cache.Access(128);  // Miss, evicts 64.
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(64));
+  EXPECT_TRUE(cache.Contains(128));
+}
+
+TEST(SetAssocCacheTest, PrefetchInsertsWithoutMissCount) {
+  SetAssocCache cache({1024, 64, 2});
+  cache.Prefetch(256);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().prefetches_issued, 1u);
+  EXPECT_TRUE(cache.Contains(256));
+  EXPECT_TRUE(cache.Access(256));  // Demand hit on prefetched line.
+  EXPECT_EQ(cache.stats().prefetch_hits, 1u);
+  // Second access is an ordinary hit.
+  cache.Access(256);
+  EXPECT_EQ(cache.stats().prefetch_hits, 1u);
+}
+
+TEST(SetAssocCacheTest, FlushEmptiesCache) {
+  SetAssocCache cache({1024, 64, 2});
+  cache.Access(0);
+  cache.Flush();
+  EXPECT_FALSE(cache.Contains(0));
+}
+
+class CacheCapacityTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: a working set equal to the cache capacity always fits
+// (fully-utilizable capacity with uniform line mapping), a working set of
+// twice the capacity cyclically scanned always thrashes.
+TEST_P(CacheCapacityTest, CapacityBoundary) {
+  uint64_t capacity = GetParam();
+  SetAssocCache cache({capacity, 64, 8});
+  uint64_t lines_in = capacity / 64;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t l = 0; l < lines_in; ++l) cache.Access(l * 64);
+  }
+  cache.ResetStats();
+  for (uint64_t l = 0; l < lines_in; ++l) cache.Access(l * 64);
+  EXPECT_EQ(cache.stats().misses, 0u) << "capacity " << capacity;
+
+  SetAssocCache small(CacheGeometry{capacity, 64, 8});
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t l = 0; l < 2 * lines_in; ++l) small.Access(l * 64);
+  }
+  small.ResetStats();
+  for (uint64_t l = 0; l < 2 * lines_in; ++l) small.Access(l * 64);
+  EXPECT_EQ(small.stats().misses, 2 * lines_in) << "capacity " << capacity;
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacityTest,
+                         ::testing::Values(1024, 4096, 16384, 65536, 262144));
+
+TEST(ItlbTest, HitsWithinPage) {
+  Itlb itlb(4, 4096);
+  EXPECT_FALSE(itlb.Access(0));
+  // Fast path: consecutive same-page accesses don't even count.
+  EXPECT_TRUE(itlb.Access(100));
+  EXPECT_TRUE(itlb.Access(4095));
+  EXPECT_EQ(itlb.misses(), 1u);
+}
+
+TEST(ItlbTest, LruWithinSet) {
+  // 4 entries, one set of 4 ways: the fifth distinct page evicts the LRU.
+  Itlb itlb(4, 4096);
+  for (uint64_t p = 0; p < 4; ++p) itlb.Access(p * 4096);  // 4 misses.
+  EXPECT_TRUE(itlb.Access(0 * 4096));  // Hit; page 1 is now LRU.
+  itlb.Access(9 * 4096);               // Miss, evicts page 1.
+  EXPECT_FALSE(itlb.Access(1 * 4096));
+  EXPECT_EQ(itlb.misses(), 6u);
+}
+
+TEST(ItlbTest, FlushForgetsPages) {
+  Itlb itlb(8, 4096);
+  itlb.Access(0);
+  itlb.Flush();
+  EXPECT_FALSE(itlb.Access(0));
+}
+
+}  // namespace
+}  // namespace bufferdb::sim
+
+namespace fa {
+
+TEST(FullyAssocLruCacheTest, BasicHitMiss) {
+  bufferdb::sim::FullyAssocLruCache cache(4 * 64, 64);
+  EXPECT_FALSE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(63));
+  EXPECT_FALSE(cache.Access(64));
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().accesses, 4u);
+}
+
+TEST(FullyAssocLruCacheTest, ExactCapacityFits) {
+  bufferdb::sim::FullyAssocLruCache cache(256 * 64, 64);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t l = 0; l < 256; ++l) cache.Access(l * 64);
+  }
+  cache.ResetStats();
+  for (uint64_t l = 0; l < 256; ++l) cache.Access(l * 64);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(FullyAssocLruCacheTest, CapacityPlusOneCyclicThrashes) {
+  bufferdb::sim::FullyAssocLruCache cache(256 * 64, 64);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t l = 0; l < 257; ++l) cache.Access(l * 64);
+  }
+  cache.ResetStats();
+  for (uint64_t l = 0; l < 257; ++l) cache.Access(l * 64);
+  EXPECT_EQ(cache.stats().misses, 257u);  // LRU pathology, as intended.
+}
+
+TEST(FullyAssocLruCacheTest, LruOrder) {
+  bufferdb::sim::FullyAssocLruCache cache(2 * 64, 64);
+  cache.Access(0);
+  cache.Access(64);
+  cache.Access(0);    // 64 becomes LRU.
+  cache.Access(128);  // Evicts 64.
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(64));
+  EXPECT_TRUE(cache.Contains(128));
+}
+
+TEST(FullyAssocLruCacheTest, PrefetchCountsOnFirstDemandHit) {
+  bufferdb::sim::FullyAssocLruCache cache(8 * 64, 64);
+  cache.Prefetch(64);
+  EXPECT_EQ(cache.stats().prefetches_issued, 1u);
+  EXPECT_TRUE(cache.Access(64));
+  EXPECT_EQ(cache.stats().prefetch_hits, 1u);
+  cache.Access(64);
+  EXPECT_EQ(cache.stats().prefetch_hits, 1u);
+}
+
+TEST(FullyAssocLruCacheTest, FlushResetsResidency) {
+  bufferdb::sim::FullyAssocLruCache cache(8 * 64, 64);
+  cache.Access(0);
+  cache.Flush();
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_FALSE(cache.Access(0));
+}
+
+// Model-based property test: random access stream checked against a naive
+// LRU reference implementation.
+class FullyAssocModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FullyAssocModelTest, MatchesNaiveLru) {
+  const int capacity = GetParam();
+  bufferdb::sim::FullyAssocLruCache cache(
+      static_cast<uint64_t>(capacity) * 64, 64);
+  std::vector<uint64_t> model;  // Front = MRU; naive O(n) LRU list.
+  bufferdb::Rng rng(capacity * 31u);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t line = static_cast<uint64_t>(rng.Uniform(0, capacity * 2));
+    bool hit = cache.Access(line * 64);
+    auto it = std::find(model.begin(), model.end(), line);
+    bool model_hit = it != model.end();
+    ASSERT_EQ(hit, model_hit) << "step " << i << " line " << line;
+    if (model_hit) model.erase(it);
+    model.insert(model.begin(), line);
+    if (model.size() > static_cast<size_t>(capacity)) model.pop_back();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, FullyAssocModelTest,
+                         ::testing::Values(1, 2, 7, 32, 256));
+
+}  // namespace fa

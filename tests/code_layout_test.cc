@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/execution_group.h"
+#include <algorithm>
+#include <set>
+
+#include "sim/code_layout.h"
+
+namespace bufferdb::sim {
+namespace {
+
+uint64_t ModuleBytes(ModuleId module) {
+  bufferdb::FuncSet set;
+  set.AddAll(ModuleBaseFuncs(module));
+  return set.TotalBytes();
+}
+
+// The calibrated layout reproduces the paper's Table 2 per-module footprints.
+TEST(CodeLayoutTest, Table2ScanFootprints) {
+  EXPECT_EQ(ModuleBytes(ModuleId::kSeqScan), 9000u);           // 9K
+  EXPECT_EQ(ModuleBytes(ModuleId::kSeqScanFiltered), 13000u);  // 13K
+}
+
+TEST(CodeLayoutTest, Table2IndexAndSort) {
+  EXPECT_EQ(ModuleBytes(ModuleId::kIndexScan), 14000u);  // 14K
+  EXPECT_EQ(ModuleBytes(ModuleId::kSort), 14000u);       // 14K
+}
+
+TEST(CodeLayoutTest, Table2Joins) {
+  EXPECT_EQ(ModuleBytes(ModuleId::kNestLoopJoin), 11000u);   // 11K
+  EXPECT_EQ(ModuleBytes(ModuleId::kMergeJoin), 12000u);      // 12K
+  EXPECT_EQ(ModuleBytes(ModuleId::kHashJoinBuild), 12000u);  // 12K
+  EXPECT_EQ(ModuleBytes(ModuleId::kHashJoinProbe), 10000u);  // 10K
+}
+
+TEST(CodeLayoutTest, Table2AggregationBase) {
+  EXPECT_EQ(ModuleBytes(ModuleId::kAggregation), 10000u);  // base 10K
+}
+
+TEST(CodeLayoutTest, Table2AggregateFunctionSizes) {
+  const CodeLayout& layout = CodeLayout::Default();
+  EXPECT_LT(layout.info(FuncId::kAggCount).size_bytes, 1000u);  // <1K
+  EXPECT_EQ(layout.info(FuncId::kAggMin).size_bytes, 1600u);    // 1.6K
+  EXPECT_EQ(layout.info(FuncId::kAggMax).size_bytes, 1600u);    // 1.6K
+  EXPECT_EQ(layout.info(FuncId::kAggSum).size_bytes, 2700u);    // 2.7K
+}
+
+TEST(CodeLayoutTest, Table2BufferIsLightWeight) {
+  EXPECT_LT(ModuleBytes(ModuleId::kBuffer), 1000u);  // <1K
+}
+
+TEST(CodeLayoutTest, FunctionsDoNotOverlapAndAreLineAligned) {
+  const CodeLayout& layout = CodeLayout::Default();
+  uint64_t prev_end = 0;
+  for (int i = 0; i < kNumFuncIds; ++i) {
+    const FuncInfo& f = layout.info(static_cast<FuncId>(i));
+    EXPECT_GE(f.base_addr, prev_end) << f.name;
+    EXPECT_EQ(f.base_addr % 64, 0u) << f.name;  // Line aligned.
+    EXPECT_GT(f.branch_sites, 0u) << f.name;
+    EXPECT_EQ(f.lines, (f.size_bytes + 63) / 64) << f.name;
+    prev_end = CodeLayout::LineAddress(f, f.lines - 1) + 64;
+  }
+}
+
+TEST(CodeLayoutTest, StridedLinesMapUniformlyAcrossL1Sets) {
+  // The 29-line stride is coprime with the 32 sets of a 16KB/8-way/64B
+  // cache: consecutive lines of a function hit consecutive-ish sets and a
+  // function never piles onto one set.
+  const CodeLayout& layout = CodeLayout::Default();
+  const FuncInfo& f = layout.info(FuncId::kIndexCore);
+  int per_set[32] = {0};
+  for (uint32_t k = 0; k < f.lines; ++k) {
+    per_set[(CodeLayout::LineAddress(f, k) / 64) % 32]++;
+  }
+  int max_load = 0, min_load = 1 << 30;
+  for (int load : per_set) {
+    max_load = std::max(max_load, load);
+    min_load = std::min(min_load, load);
+  }
+  EXPECT_LE(max_load - min_load, 1);
+}
+
+TEST(CodeLayoutTest, LinesSpreadOverManyPages) {
+  // The strided layout gives a module a page working set much larger than
+  // its byte footprint / 4096 — the ITLB behaviour the paper measures.
+  const CodeLayout& layout = CodeLayout::Default();
+  const FuncInfo& f = layout.info(FuncId::kSortCore);  // 7000 bytes.
+  std::set<uint64_t> pages;
+  for (uint32_t k = 0; k < f.lines; ++k) {
+    pages.insert(CodeLayout::LineAddress(f, k) / 4096);
+  }
+  EXPECT_GT(pages.size(), 40u);  // vs 2 pages if contiguous.
+}
+
+TEST(CodeLayoutTest, SharedFunctionsCountedOnceInCombination) {
+  // Scan(pred) + Aggregation share exec_common and expr_arith; the combined
+  // footprint must be smaller than the sum.
+  bufferdb::FuncSet combined;
+  combined.AddAll(ModuleBaseFuncs(ModuleId::kSeqScanFiltered));
+  combined.AddAll(ModuleBaseFuncs(ModuleId::kAggregation));
+  EXPECT_LT(combined.TotalBytes(),
+            ModuleBytes(ModuleId::kSeqScanFiltered) +
+                ModuleBytes(ModuleId::kAggregation));
+  EXPECT_EQ(combined.TotalBytes(), 15000u);  // 13K + 10K - 8K shared.
+}
+
+TEST(CodeLayoutTest, Query1CombinedExceedsL1WhileQuery2Fits) {
+  // The §7.2 footprint-analysis story: Query 2 (COUNT only) fits in a 16KB
+  // trace cache together with a buffer operator; Query 1 (SUM/AVG/COUNT)
+  // does not.
+  bufferdb::FuncSet query2;
+  query2.AddAll(ModuleBaseFuncs(ModuleId::kSeqScanFiltered));
+  query2.AddAll(ModuleBaseFuncs(ModuleId::kAggregation));
+  query2.Add(FuncId::kAggCount);
+  query2.AddAll(ModuleBaseFuncs(ModuleId::kBuffer));
+  EXPECT_LE(query2.TotalBytes(), 16384u);
+
+  bufferdb::FuncSet query1 = query2;
+  query1.Add(FuncId::kAggSum);
+  query1.Add(FuncId::kAggAvgExtra);
+  EXPECT_GT(query1.TotalBytes(), 16384u);
+}
+
+TEST(CodeLayoutTest, ModuleNamesAreStable) {
+  EXPECT_STREQ(ModuleName(ModuleId::kSeqScanFiltered), "Scan(pred)");
+  EXPECT_STREQ(ModuleName(ModuleId::kBuffer), "Buffer");
+  EXPECT_STREQ(FuncName(FuncId::kExecCommon), "exec_common");
+}
+
+TEST(FuncSetTest, BasicSetOperations) {
+  bufferdb::FuncSet set;
+  EXPECT_TRUE(set.empty());
+  set.Add(FuncId::kScanCore);
+  set.Add(FuncId::kScanCore);
+  EXPECT_EQ(set.count(), 1u);
+  EXPECT_TRUE(set.Contains(FuncId::kScanCore));
+  EXPECT_FALSE(set.Contains(FuncId::kSortCore));
+
+  bufferdb::FuncSet other;
+  other.Add(FuncId::kSortCore);
+  set.UnionWith(other);
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_EQ(set.ToVector().size(), 2u);
+}
+
+}  // namespace
+}  // namespace bufferdb::sim

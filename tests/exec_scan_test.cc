@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/index_scan.h"
+#include "exec/limit.h"
+#include "exec/materialize.h"
+#include "exec/project.h"
+#include "exec/seq_scan.h"
+#include "test_util.h"
+
+namespace bufferdb {
+namespace {
+
+using testutil::Bin;
+using testutil::Col;
+using testutil::Lit;
+using testutil::MakeKvTable;
+using testutil::RunPlan;
+
+TEST(SeqScanTest, FullScanReturnsAllRows) {
+  auto table = MakeKvTable("t", {{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  SeqScanOperator scan(table.get(), nullptr);
+  auto rows = RunPlan(&scan);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], Value::Int64(1));
+  EXPECT_EQ(rows[2][1], Value::Double(3.0));
+}
+
+TEST(SeqScanTest, PredicateFilters) {
+  auto table = MakeKvTable("t", {{1, 1.0}, {2, 2.0}, {3, 3.0}, {4, 4.0}});
+  const Schema& s = table->schema();
+  SeqScanOperator scan(table.get(),
+                       Bin(BinaryOp::kGt, Col(s, "k"), Lit(Value::Int64(2))));
+  auto rows = RunPlan(&scan);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int64(3));
+}
+
+TEST(SeqScanTest, EmptyTable) {
+  auto table = MakeKvTable("t", {});
+  SeqScanOperator scan(table.get(), nullptr);
+  EXPECT_TRUE(RunPlan(&scan).empty());
+}
+
+TEST(SeqScanTest, RescanRestartsFromTop) {
+  auto table = MakeKvTable("t", {{1, 1.0}, {2, 2.0}});
+  SeqScanOperator scan(table.get(), nullptr);
+  ExecContext ctx;
+  ASSERT_TRUE(scan.Open(&ctx).ok());
+  EXPECT_NE(scan.Next(), nullptr);
+  EXPECT_NE(scan.Next(), nullptr);
+  EXPECT_EQ(scan.Next(), nullptr);
+  ASSERT_TRUE(scan.Rescan().ok());
+  EXPECT_NE(scan.Next(), nullptr);
+  scan.Close();
+}
+
+TEST(SeqScanTest, ModuleDependsOnPredicate) {
+  auto table = MakeKvTable("t", {{1, 1.0}});
+  SeqScanOperator plain(table.get(), nullptr);
+  EXPECT_EQ(plain.module_id(), sim::ModuleId::kSeqScan);
+  SeqScanOperator filtered(
+      table.get(),
+      Bin(BinaryOp::kGt, Col(table->schema(), "k"), Lit(Value::Int64(0))));
+  EXPECT_EQ(filtered.module_id(), sim::ModuleId::kSeqScanFiltered);
+}
+
+class IndexScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<std::pair<int64_t, double>> rows;
+    for (int64_t i = 0; i < 100; ++i) rows.push_back({i % 50, i * 1.0});
+    ASSERT_TRUE(catalog_.AddTable(MakeKvTable("t", rows)).ok());
+    ASSERT_TRUE(catalog_.CreateIndex("t_k", "t", "k").ok());
+    index_ = catalog_.GetIndex("t_k");
+  }
+  Catalog catalog_;
+  const IndexInfo* index_ = nullptr;
+};
+
+TEST_F(IndexScanTest, FullRangeIsSorted) {
+  IndexScanOperator scan(index_, std::nullopt, std::nullopt, nullptr);
+  auto rows = RunPlan(&scan);
+  ASSERT_EQ(rows.size(), 100u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1][0].int64_value(), rows[i][0].int64_value());
+  }
+}
+
+TEST_F(IndexScanTest, BoundedRange) {
+  IndexScanOperator scan(index_, int64_t{10}, int64_t{12}, nullptr);
+  auto rows = RunPlan(&scan);
+  ASSERT_EQ(rows.size(), 6u);  // Keys 10,11,12 each twice.
+  for (const auto& row : rows) {
+    EXPECT_GE(row[0].int64_value(), 10);
+    EXPECT_LE(row[0].int64_value(), 12);
+  }
+}
+
+TEST_F(IndexScanTest, EqualKeyMode) {
+  IndexScanOperator scan(index_, std::nullopt, std::nullopt, nullptr);
+  ExecContext ctx;
+  ASSERT_TRUE(scan.Open(&ctx).ok());
+  scan.BindEqualKey(7);
+  ASSERT_TRUE(scan.Rescan().ok());
+  int count = 0;
+  while (const uint8_t* row = scan.Next()) {
+    TupleView v(row, &scan.output_schema());
+    EXPECT_EQ(v.GetInt64(0), 7);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+
+  // Rebinding works repeatedly.
+  scan.BindEqualKey(49);
+  ASSERT_TRUE(scan.Rescan().ok());
+  count = 0;
+  while (scan.Next() != nullptr) ++count;
+  EXPECT_EQ(count, 2);
+  scan.Close();
+}
+
+TEST_F(IndexScanTest, EqualKeyMissingReturnsNothing) {
+  IndexScanOperator scan(index_, std::nullopt, std::nullopt, nullptr);
+  ExecContext ctx;
+  ASSERT_TRUE(scan.Open(&ctx).ok());
+  scan.BindEqualKey(12345);
+  ASSERT_TRUE(scan.Rescan().ok());
+  EXPECT_EQ(scan.Next(), nullptr);
+  scan.Close();
+}
+
+TEST_F(IndexScanTest, ResidualPredicate) {
+  const Schema& s = catalog_.GetTable("t")->schema();
+  IndexScanOperator scan(
+      index_, int64_t{0}, int64_t{49},
+      Bin(BinaryOp::kGe, Col(s, "v"), Lit(Value::Double(50.0))));
+  auto rows = RunPlan(&scan);
+  EXPECT_EQ(rows.size(), 50u);  // Second copy of each key has v >= 50.
+}
+
+TEST(ProjectTest, ComputesExpressions) {
+  auto table = MakeKvTable("t", {{2, 1.5}, {3, 0.5}});
+  const Schema& s = table->schema();
+  std::vector<ProjectItem> items;
+  items.push_back(ProjectItem{
+      Bin(BinaryOp::kMul, Col(s, "k"), Col(s, "v")), "product"});
+  items.push_back(ProjectItem{Col(s, "k"), "k"});
+  ProjectOperator project(std::make_unique<SeqScanOperator>(table.get(),
+                                                            nullptr),
+                          std::move(items));
+  auto rows = RunPlan(&project);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Double(3.0));
+  EXPECT_EQ(rows[1][0], Value::Double(1.5));
+  EXPECT_EQ(project.output_schema().column(0).name, "product");
+}
+
+TEST(MaterializeTest, BuffersAndRescans) {
+  auto table = MakeKvTable("t", {{1, 1}, {2, 2}, {3, 3}});
+  MaterializeOperator mat(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr));
+  ExecContext ctx;
+  ASSERT_TRUE(mat.Open(&ctx).ok());
+  int count = 0;
+  while (mat.Next() != nullptr) ++count;
+  EXPECT_EQ(count, 3);
+  ASSERT_TRUE(mat.Rescan().ok());
+  count = 0;
+  while (mat.Next() != nullptr) ++count;
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(mat.num_buffered(), 3u);
+  EXPECT_TRUE(mat.BlocksInput(0));
+  mat.Close();
+}
+
+TEST(LimitTest, CapsAndOffsets) {
+  auto table = MakeKvTable("t", {{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}});
+  {
+    LimitOperator limit(std::make_unique<SeqScanOperator>(table.get(),
+                                                          nullptr),
+                        2);
+    auto rows = RunPlan(&limit);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][0], Value::Int64(1));
+  }
+  {
+    LimitOperator limit(std::make_unique<SeqScanOperator>(table.get(),
+                                                          nullptr),
+                        2, /*offset=*/3);
+    auto rows = RunPlan(&limit);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][0], Value::Int64(4));
+  }
+  {
+    LimitOperator limit(std::make_unique<SeqScanOperator>(table.get(),
+                                                          nullptr),
+                        100);
+    EXPECT_EQ(RunPlan(&limit).size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace bufferdb

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "profile/calibration_queries.h"
+#include "profile/call_graph.h"
+#include "profile/footprint.h"
+
+namespace bufferdb::profile {
+namespace {
+
+class FootprintTest : public ::testing::Test {
+ protected:
+  // Calibration is deterministic; run it once for the suite.
+  static void SetUpTestSuite() {
+    table_ = new FootprintTable(CalibrateFootprints());
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+  static FootprintTable* table_;
+};
+
+FootprintTable* FootprintTest::table_ = nullptr;
+
+TEST_F(FootprintTest, AllOperatorModulesObserved) {
+  for (auto module :
+       {sim::ModuleId::kSeqScan, sim::ModuleId::kSeqScanFiltered,
+        sim::ModuleId::kIndexScan, sim::ModuleId::kSort,
+        sim::ModuleId::kNestLoopJoin, sim::ModuleId::kMergeJoin,
+        sim::ModuleId::kHashJoinBuild, sim::ModuleId::kHashJoinProbe,
+        sim::ModuleId::kAggregation, sim::ModuleId::kHashAggregation,
+        sim::ModuleId::kBuffer, sim::ModuleId::kMaterialize,
+        sim::ModuleId::kProject}) {
+    EXPECT_TRUE(table_->has(module)) << sim::ModuleName(module);
+  }
+}
+
+TEST_F(FootprintTest, MeasuredFootprintsMatchTable2) {
+  // The dynamically measured footprints reproduce the paper's Table 2
+  // (within the documented AVG deviation).
+  EXPECT_EQ(table_->footprint_bytes(sim::ModuleId::kSeqScan), 9000u);
+  EXPECT_EQ(table_->footprint_bytes(sim::ModuleId::kSeqScanFiltered), 13000u);
+  EXPECT_EQ(table_->footprint_bytes(sim::ModuleId::kIndexScan), 14000u);
+  EXPECT_EQ(table_->footprint_bytes(sim::ModuleId::kSort), 14000u);
+  EXPECT_EQ(table_->footprint_bytes(sim::ModuleId::kNestLoopJoin), 11000u);
+  EXPECT_EQ(table_->footprint_bytes(sim::ModuleId::kMergeJoin), 12000u);
+  EXPECT_EQ(table_->footprint_bytes(sim::ModuleId::kHashJoinBuild), 12000u);
+  EXPECT_EQ(table_->footprint_bytes(sim::ModuleId::kHashJoinProbe), 10000u);
+  EXPECT_LT(table_->footprint_bytes(sim::ModuleId::kBuffer), 1000u);
+}
+
+TEST_F(FootprintTest, AggregationIncludesOnlyObservedAggregates) {
+  // The calibration aggregation query used COUNT(*): base + count code.
+  uint64_t agg = table_->footprint_bytes(sim::ModuleId::kAggregation);
+  EXPECT_GE(agg, 10000u);
+  EXPECT_LE(agg, 11000u);
+  EXPECT_TRUE(
+      table_->funcs(sim::ModuleId::kAggregation).Contains(sim::FuncId::kAggCount));
+  EXPECT_FALSE(
+      table_->funcs(sim::ModuleId::kAggregation).Contains(sim::FuncId::kAggSum));
+}
+
+TEST_F(FootprintTest, CombinedCountsSharedOnce) {
+  sim::ModuleId pair[] = {sim::ModuleId::kSeqScanFiltered,
+                          sim::ModuleId::kAggregation};
+  uint64_t combined = table_->CombinedBytes(pair);
+  uint64_t sum = table_->footprint_bytes(pair[0]) +
+                 table_->footprint_bytes(pair[1]);
+  EXPECT_LT(combined, sum);
+  EXPECT_GE(combined,
+            std::max(table_->footprint_bytes(pair[0]),
+                     table_->footprint_bytes(pair[1])));
+}
+
+TEST_F(FootprintTest, ToStringListsModules) {
+  std::string s = table_->ToString();
+  EXPECT_NE(s.find("Scan(pred)"), std::string::npos);
+  EXPECT_NE(s.find("Buffer"), std::string::npos);
+}
+
+TEST(CallGraphRecorderTest, RecordsCallsAndFuncs) {
+  CallGraphRecorder recorder;
+  sim::FuncId funcs[] = {sim::FuncId::kExecCommon, sim::FuncId::kScanCore};
+  recorder.OnModuleCall(sim::ModuleId::kSeqScan, funcs);
+  recorder.OnModuleCall(sim::ModuleId::kSeqScan, funcs);
+  EXPECT_EQ(recorder.calls(sim::ModuleId::kSeqScan), 2u);
+  EXPECT_TRUE(recorder.observed(sim::ModuleId::kSeqScan));
+  EXPECT_FALSE(recorder.observed(sim::ModuleId::kSort));
+  EXPECT_EQ(recorder.funcs(sim::ModuleId::kSeqScan).count(), 2u);
+  recorder.Reset();
+  EXPECT_FALSE(recorder.observed(sim::ModuleId::kSeqScan));
+}
+
+TEST(CalibrationDataTest, SyntheticItemsAreDeterministic) {
+  auto a = BuildSyntheticItems(100, 5);
+  auto b = BuildSyntheticItems(100, 5);
+  ASSERT_EQ(a->num_rows(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a->view(i).ToString(), b->view(i).ToString());
+  }
+  auto c = BuildSyntheticItems(100, 6);
+  EXPECT_NE(a->view(0).ToString(), c->view(0).ToString());
+}
+
+TEST(CalibrationDataTest, SelColumnUniform) {
+  auto t = BuildSyntheticItems(10000, 11);
+  int below_half = 0;
+  int col = t->schema().FindColumn("sel");
+  ASSERT_GE(col, 0);
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    double sel = t->view(i).GetDouble(col);
+    ASSERT_GE(sel, 0.0);
+    ASSERT_LT(sel, 1.0);
+    if (sel < 0.5) ++below_half;
+  }
+  EXPECT_NEAR(below_half, 5000, 300);
+}
+
+}  // namespace
+}  // namespace bufferdb::profile
+
+namespace bufferdb::profile {
+namespace {
+
+TEST(StaticFootprintTest, StaticEstimateOverestimates) {
+  // §6.1: "this method is inaccurate (it gives an overestimate of the
+  // size) because ... some functions in static call graphs are never
+  // called."
+  FootprintTable table = CalibrateFootprints();
+  for (auto module : {sim::ModuleId::kSeqScan, sim::ModuleId::kSort,
+                      sim::ModuleId::kHashJoinProbe}) {
+    EXPECT_GT(table.StaticEstimateBytes(module),
+              table.footprint_bytes(module) + 13000)
+        << sim::ModuleName(module);
+  }
+}
+
+TEST(StaticFootprintTest, StaticEstimateWouldBreakRefinementDecisions) {
+  // With static estimates, even Query 2's Scan+Agg "exceeds" the 16KB L1I —
+  // the refiner would buffer plans that need no buffering.
+  FootprintTable table = CalibrateFootprints();
+  sim::ModuleId q2[] = {sim::ModuleId::kSeqScanFiltered,
+                        sim::ModuleId::kAggregation};
+  EXPECT_LE(table.CombinedBytes(q2), 16384u);  // Dynamic: fits.
+  FuncSet static_set;
+  static_set.AddAll(table.funcs(q2[0]).ToVector());
+  static_set.AddAll(table.funcs(q2[1]).ToVector());
+  static_set.AddAll(sim::StaticOnlyFuncs());
+  EXPECT_GT(static_set.TotalBytes(), 16384u);  // Static: spuriously too big.
+}
+
+TEST(StaticFootprintTest, ColdFunctionsNeverObservedDynamically) {
+  FootprintTable table = CalibrateFootprints();
+  for (int m = 0; m < sim::kNumModuleIds; ++m) {
+    auto module = static_cast<sim::ModuleId>(m);
+    if (!table.has(module)) continue;
+    for (sim::FuncId cold : sim::StaticOnlyFuncs()) {
+      EXPECT_FALSE(table.funcs(module).Contains(cold))
+          << sim::ModuleName(module);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bufferdb::profile

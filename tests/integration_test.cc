@@ -1,0 +1,268 @@
+// End-to-end reproduction checks: the paper's headline effects measured on
+// the full stack (SQL -> binder -> planner -> refiner -> executor -> CPU
+// simulator) over TPC-H data.
+
+#include <gtest/gtest.h>
+
+#include "plan/physical_planner.h"
+#include "sim/sim_cpu.h"
+#include "sql/binder.h"
+#include "tpch/tpch_gen.h"
+
+namespace bufferdb {
+namespace {
+
+constexpr char kQuery1[] =
+    "SELECT SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS s, "
+    "AVG(l_quantity) AS a, COUNT(*) AS c "
+    "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'";
+
+constexpr char kQuery2[] =
+    "SELECT COUNT(*) AS c FROM lineitem "
+    "WHERE l_shipdate <= DATE '1998-09-02'";
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.004;
+    ASSERT_TRUE(tpch::LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  struct RunResult {
+    std::vector<std::vector<Value>> rows;
+    sim::SimCounters counters;
+    double seconds;
+  };
+
+  static RunResult Execute(const std::string& sql, bool refine,
+                           JoinStrategy strategy = JoinStrategy::kAuto) {
+    sql::Binder binder(catalog_);
+    auto q = binder.BindSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    PlannerOptions options;
+    options.refine = refine;
+    options.join_strategy = strategy;
+    PhysicalPlanner planner(catalog_, options);
+    auto plan = planner.CreatePlan(*q);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+
+    sim::SimCpu cpu;
+    ExecContext ctx;
+    ctx.cpu = &cpu;
+    auto rows = ExecutePlanRows(plan->get(), &ctx);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    return RunResult{rows.ok() ? *rows : std::vector<std::vector<Value>>{},
+                     cpu.counters(), cpu.Breakdown().seconds()};
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* IntegrationTest::catalog_ = nullptr;
+
+TEST_F(IntegrationTest, Query1BufferingPreservesResults) {
+  RunResult original = Execute(kQuery1, false);
+  RunResult buffered = Execute(kQuery1, true);
+  ASSERT_EQ(original.rows.size(), 1u);
+  ASSERT_EQ(buffered.rows.size(), 1u);
+  EXPECT_NEAR(original.rows[0][0].double_value(),
+              buffered.rows[0][0].double_value(), 1e-6);
+  EXPECT_NEAR(original.rows[0][1].double_value(),
+              buffered.rows[0][1].double_value(), 1e-12);
+  EXPECT_EQ(original.rows[0][2], buffered.rows[0][2]);
+}
+
+TEST_F(IntegrationTest, Query1BufferingCutsTraceCacheMisses) {
+  // The paper's headline: up to 80% fewer L1-I misses on Query 1 (Fig. 10).
+  RunResult original = Execute(kQuery1, false);
+  RunResult buffered = Execute(kQuery1, true);
+  EXPECT_LT(buffered.counters.l1i_misses,
+            original.counters.l1i_misses / 2);
+}
+
+TEST_F(IntegrationTest, Query1BufferingImprovesTime) {
+  RunResult original = Execute(kQuery1, false);
+  RunResult buffered = Execute(kQuery1, true);
+  EXPECT_LT(buffered.seconds, original.seconds);
+}
+
+TEST_F(IntegrationTest, Query1BufferingReducesBranchMispredictions) {
+  RunResult original = Execute(kQuery1, false);
+  RunResult buffered = Execute(kQuery1, true);
+  EXPECT_LT(buffered.counters.mispredicts, original.counters.mispredicts);
+}
+
+TEST_F(IntegrationTest, Query1InstructionCountsNearlyEqual) {
+  // Table 4: buffered and original plans execute (almost) the same number
+  // of instructions — buffer operators are light-weight. Allow 5%.
+  RunResult original = Execute(kQuery1, false);
+  RunResult buffered = Execute(kQuery1, true);
+  double ratio = static_cast<double>(buffered.counters.instructions) /
+                 static_cast<double>(original.counters.instructions);
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.05);
+}
+
+TEST_F(IntegrationTest, Query2RefinerAddsNoBuffer) {
+  // Fig. 9: Scan+Agg(COUNT) fit in L1-I together; refinement must leave the
+  // plan alone, and the unbuffered plan shows few trace-cache misses.
+  sql::Binder binder(catalog_);
+  auto q = binder.BindSql(kQuery2);
+  ASSERT_TRUE(q.ok());
+  PlannerOptions options;
+  options.refine = true;
+  PhysicalPlanner planner(catalog_, options);
+  RefinementReport report;
+  auto plan = planner.CreatePlan(*q, &report);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(report.buffers_added, 0);
+}
+
+TEST_F(IntegrationTest, Query2MissRateLowWithoutBuffering) {
+  RunResult original = Execute(kQuery2, false);
+  // Unbuffered Query 2 already enjoys instruction locality: misses per
+  // module call are far below one line.
+  double misses_per_call =
+      static_cast<double>(original.counters.l1i_misses) /
+      static_cast<double>(original.counters.module_calls);
+  EXPECT_LT(misses_per_call, 1.0);
+}
+
+TEST_F(IntegrationTest, JoinStrategiesAllBenefitFromBuffering) {
+  constexpr char kQuery3[] =
+      "SELECT SUM(o_totalprice), COUNT(*), AVG(l_discount) "
+      "FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02'";
+  for (JoinStrategy strategy :
+       {JoinStrategy::kIndexNestLoop, JoinStrategy::kHashJoin,
+        JoinStrategy::kMergeJoin}) {
+    RunResult original = Execute(kQuery3, false, strategy);
+    RunResult buffered = Execute(kQuery3, true, strategy);
+    ASSERT_EQ(original.rows.size(), 1u);
+    EXPECT_NEAR(original.rows[0][0].double_value(),
+                buffered.rows[0][0].double_value(), 1e-6)
+        << JoinStrategyName(strategy);
+    EXPECT_LT(buffered.counters.l1i_misses, original.counters.l1i_misses)
+        << JoinStrategyName(strategy);
+    EXPECT_LT(buffered.seconds, original.seconds)
+        << JoinStrategyName(strategy);
+  }
+}
+
+TEST_F(IntegrationTest, BufferedPlansIncurSlightlyMoreL2Misses) {
+  // §7.2: "The overhead of extra buffering introduces slightly more L2
+  // cache misses" — more data (the pointer arrays) is in flight.
+  RunResult original = Execute(kQuery1, false);
+  RunResult buffered = Execute(kQuery1, true);
+  EXPECT_GE(buffered.counters.l2_misses, original.counters.l2_misses);
+  // But the effect is small: well under 1% of cycles either way.
+  EXPECT_LT(static_cast<double>(buffered.counters.l2_misses) * 276.0,
+            0.05 * buffered.seconds * 2.4e9);
+}
+
+TEST_F(IntegrationTest, GroupByQueryWorksThroughFullStack) {
+  RunResult result = Execute(
+      "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS q, COUNT(*) AS c "
+      "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+      "GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, "
+      "l_linestatus",
+      true);
+  // TPC-H Q1 grouping yields three (flag, status) combinations in our
+  // generator: (A,F), (N,O), (R,F).
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][0], Value::String("A"));
+  EXPECT_EQ(result.rows[0][1], Value::String("F"));
+}
+
+}  // namespace
+}  // namespace bufferdb
+
+namespace bufferdb {
+namespace {
+
+// The instruction-side simulator is fully deterministic: identical runs
+// produce identical instruction/L1I/branch/ITLB counters bit for bit (the
+// synthetic code layout has fixed addresses). Data-side counters use real
+// heap addresses and may wiggle by a fraction of a percent between runs.
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalCounters) {
+  Catalog catalog;
+  tpch::TpchConfig config;
+  config.scale_factor = 0.002;
+  ASSERT_TRUE(tpch::LoadTpch(config, &catalog).ok());
+  constexpr char kSql[] =
+      "SELECT SUM(l_extendedprice * (1 - l_discount)) AS s, COUNT(*) AS c "
+      "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'";
+
+  sim::SimCounters counters[2];
+  for (int run = 0; run < 2; ++run) {
+    sql::Binder binder(&catalog);
+    auto q = binder.BindSql(kSql);
+    ASSERT_TRUE(q.ok());
+    PlannerOptions options;
+    options.refine = true;
+    PhysicalPlanner planner(&catalog, options);
+    auto plan = planner.CreatePlan(*q);
+    ASSERT_TRUE(plan.ok());
+    sim::SimCpu cpu;
+    ExecContext ctx;
+    ctx.cpu = &cpu;
+    auto rows = ExecutePlanRows(plan->get(), &ctx);
+    ASSERT_TRUE(rows.ok());
+    counters[run] = cpu.counters();
+  }
+  EXPECT_EQ(counters[0].instructions, counters[1].instructions);
+  EXPECT_EQ(counters[0].l1i_misses, counters[1].l1i_misses);
+  EXPECT_EQ(counters[0].branches, counters[1].branches);
+  EXPECT_EQ(counters[0].mispredicts, counters[1].mispredicts);
+  EXPECT_EQ(counters[0].itlb_misses, counters[1].itlb_misses);
+  EXPECT_EQ(counters[0].module_calls, counters[1].module_calls);
+  // Data-side: same access count, near-identical misses.
+  EXPECT_EQ(counters[0].l1d_accesses, counters[1].l1d_accesses);
+  EXPECT_NEAR(static_cast<double>(counters[0].l1d_misses),
+              static_cast<double>(counters[1].l1d_misses),
+              0.01 * static_cast<double>(counters[0].l1d_misses) + 16);
+}
+
+// Running with ctx.cpu == nullptr must produce the same query results as a
+// simulated run (the instrumentation is observation-only).
+TEST(DeterminismTest, SimulationDoesNotChangeResults) {
+  Catalog catalog;
+  tpch::TpchConfig config;
+  config.scale_factor = 0.002;
+  ASSERT_TRUE(tpch::LoadTpch(config, &catalog).ok());
+  constexpr char kSql[] =
+      "SELECT l_returnflag, COUNT(*) AS c FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag";
+
+  std::vector<std::vector<Value>> results[2];
+  for (int with_sim = 0; with_sim < 2; ++with_sim) {
+    sql::Binder binder(&catalog);
+    auto q = binder.BindSql(kSql);
+    ASSERT_TRUE(q.ok());
+    PlannerOptions options;
+    options.refine = true;
+    PhysicalPlanner planner(&catalog, options);
+    auto plan = planner.CreatePlan(*q);
+    ASSERT_TRUE(plan.ok());
+    sim::SimCpu cpu;
+    ExecContext ctx;
+    ctx.cpu = with_sim ? &cpu : nullptr;
+    auto rows = ExecutePlanRows(plan->get(), &ctx);
+    ASSERT_TRUE(rows.ok());
+    results[with_sim] = *rows;
+  }
+  ASSERT_EQ(results[0].size(), results[1].size());
+  for (size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_EQ(results[0][i][0], results[1][i][0]);
+    EXPECT_EQ(results[0][i][1], results[1][i][1]);
+  }
+}
+
+}  // namespace
+}  // namespace bufferdb

@@ -1,0 +1,545 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "plan/cardinality.h"
+#include "plan/physical_planner.h"
+#include "plan/plan_printer.h"
+#include "sql/binder.h"
+#include "test_util.h"
+#include "tpch/tpch_gen.h"
+
+namespace bufferdb {
+namespace {
+
+constexpr char kQuery3[] =
+    "SELECT SUM(o_totalprice), COUNT(*), AVG(l_discount) "
+    "FROM lineitem, orders "
+    "WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02'";
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  OperatorPtr MustPlan(const std::string& sql, PlannerOptions options = {}) {
+    sql::Binder binder(catalog_);
+    auto q = binder.BindSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    PhysicalPlanner planner(catalog_, options);
+    auto plan = planner.CreatePlan(*q);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return std::move(*plan);
+  }
+
+  std::vector<std::vector<Value>> RunSql(const std::string& sql,
+                                         PlannerOptions options = {}) {
+    OperatorPtr plan = MustPlan(sql, options);
+    ExecContext ctx;
+    auto rows = ExecutePlanRows(plan.get(), &ctx);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    return rows.ok() ? *rows : std::vector<std::vector<Value>>{};
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* PlannerTest::catalog_ = nullptr;
+
+TEST_F(PlannerTest, Query1PlanShape) {
+  OperatorPtr plan = MustPlan(
+      "SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem "
+      "WHERE l_shipdate <= DATE '1998-09-02'");
+  EXPECT_EQ(plan->module_id(), sim::ModuleId::kAggregation);
+  EXPECT_EQ(plan->child(0)->module_id(), sim::ModuleId::kSeqScanFiltered);
+  EXPECT_GT(plan->child(0)->estimated_rows(), 0);
+}
+
+TEST_F(PlannerTest, AutoJoinPicksIndexNestLoopForPkJoin) {
+  OperatorPtr plan = MustPlan(kQuery3);
+  const Operator* join = plan->child(0);
+  EXPECT_EQ(join->module_id(), sim::ModuleId::kNestLoopJoin);
+  // Inner unique index scan marked excluded from buffering (§6).
+  EXPECT_TRUE(join->child(1)->excluded_from_buffering());
+  EXPECT_EQ(join->child(1)->module_id(), sim::ModuleId::kIndexScan);
+}
+
+TEST_F(PlannerTest, ForcedHashJoin) {
+  PlannerOptions options;
+  options.join_strategy = JoinStrategy::kHashJoin;
+  OperatorPtr plan = MustPlan(kQuery3, options);
+  EXPECT_EQ(plan->child(0)->module_id(), sim::ModuleId::kHashJoinProbe);
+  EXPECT_TRUE(plan->child(0)->BlocksInput(1));
+}
+
+TEST_F(PlannerTest, ForcedMergeJoinUsesIndexOrderOnInner) {
+  PlannerOptions options;
+  options.join_strategy = JoinStrategy::kMergeJoin;
+  OperatorPtr plan = MustPlan(kQuery3, options);
+  const Operator* join = plan->child(0);
+  ASSERT_EQ(join->module_id(), sim::ModuleId::kMergeJoin);
+  EXPECT_EQ(join->child(0)->module_id(), sim::ModuleId::kSort);
+  // orders side: the pk index provides sorted order without a Sort.
+  EXPECT_EQ(join->child(1)->module_id(), sim::ModuleId::kIndexScan);
+}
+
+TEST_F(PlannerTest, AllJoinStrategiesReturnSameAnswer) {
+  std::vector<std::vector<Value>> results[3];
+  JoinStrategy strategies[] = {JoinStrategy::kIndexNestLoop,
+                               JoinStrategy::kHashJoin,
+                               JoinStrategy::kMergeJoin};
+  for (int i = 0; i < 3; ++i) {
+    PlannerOptions options;
+    options.join_strategy = strategies[i];
+    results[i] = RunSql(kQuery3, options);
+    ASSERT_EQ(results[i].size(), 1u) << JoinStrategyName(strategies[i]);
+  }
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_NEAR(results[0][0][0].double_value(),
+                results[i][0][0].double_value(), 1e-6);
+    EXPECT_EQ(results[0][0][1], results[i][0][1]);
+    EXPECT_NEAR(results[0][0][2].double_value(),
+                results[i][0][2].double_value(), 1e-12);
+  }
+}
+
+TEST_F(PlannerTest, RefinedAndOriginalPlansAgree) {
+  PlannerOptions refined;
+  refined.refine = true;
+  auto a = RunSql(kQuery3);
+  auto b = RunSql(kQuery3, refined);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NEAR(a[0][0].double_value(), b[0][0].double_value(), 1e-6);
+  EXPECT_EQ(a[0][1], b[0][1]);
+}
+
+TEST_F(PlannerTest, GroupByOrderByLimitPipeline) {
+  auto rows = RunSql(
+      "SELECT l_returnflag, COUNT(*) AS c FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag");
+  ASSERT_EQ(rows.size(), 3u);  // R, A, N in some sorted order: A, N, R.
+  EXPECT_EQ(rows[0][0], Value::String("A"));
+  EXPECT_EQ(rows[1][0], Value::String("N"));
+  EXPECT_EQ(rows[2][0], Value::String("R"));
+  int64_t total = rows[0][1].int64_value() + rows[1][1].int64_value() +
+                  rows[2][1].int64_value();
+  EXPECT_EQ(total, static_cast<int64_t>(
+                       catalog_->GetTable("lineitem")->num_rows()));
+}
+
+TEST_F(PlannerTest, ProjectionWithLimit) {
+  auto rows = RunSql("SELECT o_orderkey, o_totalprice FROM orders LIMIT 7");
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0][0], Value::Int64(1));
+}
+
+TEST_F(PlannerTest, OrderByDescending) {
+  auto rows = RunSql(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey DESC LIMIT 3");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GT(rows[0][0].int64_value(), rows[1][0].int64_value());
+  EXPECT_GT(rows[1][0].int64_value(), rows[2][0].int64_value());
+}
+
+TEST_F(PlannerTest, PlanPrinterRendersTree) {
+  PlannerOptions options;
+  options.refine = true;
+  OperatorPtr plan = MustPlan(kQuery3, options);
+  std::string printed = PrintPlan(*plan);
+  EXPECT_NE(printed.find("NestLoop"), std::string::npos);
+  EXPECT_NE(printed.find("Buffer"), std::string::npos);
+  EXPECT_NE(printed.find("rows="), std::string::npos);
+  EXPECT_NE(printed.find("footprint="), std::string::npos);
+  EXPECT_NE(printed.find("[no-buffer]"), std::string::npos);
+}
+
+TEST_F(PlannerTest, SelectivityEstimateTracksDatePredicate) {
+  Table* lineitem = catalog_->GetTable("lineitem");
+  const Schema& s = lineitem->schema();
+  auto col = MakeColumnRef(s, "l_shipdate");
+  ASSERT_TRUE(col.ok());
+  auto pred = MakeBinary(
+      BinaryOp::kLe, std::move(*col),
+      MakeLiteral(Value::Date(MakeDate(1998, 9, 2))));
+  ASSERT_TRUE(pred.ok());
+  double selectivity = EstimateSelectivity(**pred, lineitem);
+  // ~96% of shipdates fall before 1998-09-02.
+  EXPECT_GT(selectivity, 0.85);
+  EXPECT_LE(selectivity, 1.0);
+}
+
+TEST_F(PlannerTest, JoinCardinalityForPkFkJoin) {
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinRows(1000, 500, 500, true), 1000);
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinRows(1000, 250, 500, true), 500);
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinRows(100, 50, 50, false), 50);
+}
+
+TEST_F(PlannerTest, NestLoopRequiresInnerIndex) {
+  sql::Binder binder(catalog_);
+  // customer has no index on c_nationkey; joining with nation (also no
+  // index on n_nationkey) cannot use index nested loop.
+  auto q = binder.BindSql(
+      "SELECT COUNT(*) FROM customer, nation "
+      "WHERE c_nationkey = n_nationkey");
+  ASSERT_TRUE(q.ok()) << q.status();
+  PlannerOptions options;
+  options.join_strategy = JoinStrategy::kIndexNestLoop;
+  PhysicalPlanner planner(catalog_, options);
+  EXPECT_FALSE(planner.CreatePlan(*q).ok());
+}
+
+TEST_F(PlannerTest, HashJoinFallbackWhenNoIndex) {
+  auto rows = RunSql(
+      "SELECT COUNT(*) FROM customer, nation WHERE c_nationkey = n_nationkey");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0],
+            Value::Int64(static_cast<int64_t>(
+                catalog_->GetTable("customer")->num_rows())));
+}
+
+}  // namespace
+}  // namespace bufferdb
+
+namespace bufferdb {
+namespace {
+
+class PlannerExtensionsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  std::vector<std::vector<Value>> RunSql(const std::string& sql) {
+    sql::Binder binder(catalog_);
+    auto q = binder.BindSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    PhysicalPlanner planner(catalog_, PlannerOptions{});
+    auto plan = planner.CreatePlan(*q);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    last_plan_ = PrintPlan(**plan);
+    ExecContext ctx;
+    auto rows = ExecutePlanRows(plan->get(), &ctx);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    return rows.ok() ? *rows : std::vector<std::vector<Value>>{};
+  }
+
+  std::string last_plan_;
+  static Catalog* catalog_;
+};
+
+Catalog* PlannerExtensionsTest::catalog_ = nullptr;
+
+TEST_F(PlannerExtensionsTest, HavingFiltersGroups) {
+  auto all = RunSql(
+      "SELECT l_returnflag, COUNT(*) AS c FROM lineitem "
+      "GROUP BY l_returnflag");
+  auto filtered = RunSql(
+      "SELECT l_returnflag, COUNT(*) AS c FROM lineitem "
+      "GROUP BY l_returnflag HAVING c > 2000");
+  EXPECT_NE(last_plan_.find("Filter"), std::string::npos);
+  ASSERT_EQ(all.size(), 3u);
+  size_t expected = 0;
+  for (const auto& row : all) {
+    if (row[1].int64_value() > 2000) ++expected;
+  }
+  EXPECT_EQ(filtered.size(), expected);
+}
+
+TEST_F(PlannerExtensionsTest, HavingWithoutAggregatesRejected) {
+  sql::Binder binder(catalog_);
+  EXPECT_FALSE(
+      binder.BindSql("SELECT l_orderkey FROM lineitem HAVING l_orderkey > 1")
+          .ok());
+}
+
+TEST_F(PlannerExtensionsTest, SelectDistinct) {
+  auto rows = RunSql("SELECT DISTINCT l_returnflag FROM lineitem");
+  EXPECT_NE(last_plan_.find("Distinct"), std::string::npos);
+  EXPECT_EQ(rows.size(), 3u);  // R, A, N.
+}
+
+TEST_F(PlannerExtensionsTest, OrderByLimitFusedIntoTopN) {
+  auto rows = RunSql(
+      "SELECT o_orderkey, o_totalprice FROM orders "
+      "ORDER BY o_totalprice DESC LIMIT 5");
+  EXPECT_NE(last_plan_.find("TopN(5)"), std::string::npos);
+  EXPECT_EQ(last_plan_.find("Sort"), std::string::npos);
+  ASSERT_EQ(rows.size(), 5u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1][1].double_value(), rows[i][1].double_value());
+  }
+}
+
+TEST_F(PlannerExtensionsTest, TopNMatchesSortLimit) {
+  // Force Sort+Limit by ordering on a query without LIMIT, then truncating.
+  auto sorted = RunSql(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey DESC");
+  auto topn = RunSql(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey DESC LIMIT 10");
+  ASSERT_GE(sorted.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(topn[i][0], sorted[i][0]);
+  }
+}
+
+TEST_F(PlannerExtensionsTest, LikePredicateEndToEnd) {
+  auto promo = RunSql(
+      "SELECT COUNT(*) AS c FROM part WHERE p_type LIKE 'PROMO%'");
+  auto total = RunSql("SELECT COUNT(*) AS c FROM part");
+  ASSERT_EQ(promo.size(), 1u);
+  EXPECT_GT(promo[0][0].int64_value(), 0);
+  EXPECT_LT(promo[0][0].int64_value(), total[0][0].int64_value());
+}
+
+TEST_F(PlannerExtensionsTest, InListEndToEnd) {
+  auto rows = RunSql(
+      "SELECT COUNT(*) AS c FROM lineitem "
+      "WHERE l_shipmode IN ('MAIL', 'SHIP')");
+  auto mail = RunSql(
+      "SELECT COUNT(*) AS c FROM lineitem WHERE l_shipmode = 'MAIL'");
+  auto ship = RunSql(
+      "SELECT COUNT(*) AS c FROM lineitem WHERE l_shipmode = 'SHIP'");
+  EXPECT_EQ(rows[0][0].int64_value(),
+            mail[0][0].int64_value() + ship[0][0].int64_value());
+}
+
+TEST_F(PlannerExtensionsTest, BetweenEndToEnd) {
+  auto rows = RunSql(
+      "SELECT COUNT(*) AS c FROM lineitem "
+      "WHERE l_discount BETWEEN 0.05 AND 0.07");
+  auto manual = RunSql(
+      "SELECT COUNT(*) AS c FROM lineitem "
+      "WHERE l_discount >= 0.05 AND l_discount <= 0.07");
+  EXPECT_EQ(rows[0][0], manual[0][0]);
+  EXPECT_GT(rows[0][0].int64_value(), 0);
+}
+
+TEST_F(PlannerExtensionsTest, TpchQ6Faithful) {
+  auto rows = RunSql(
+      "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+      "WHERE l_shipdate >= DATE '1994-01-01' "
+      "AND l_shipdate < DATE '1995-01-01' "
+      "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0][0].is_null());
+  EXPECT_GT(rows[0][0].double_value(), 0.0);
+}
+
+}  // namespace
+}  // namespace bufferdb
+
+namespace bufferdb {
+namespace {
+
+class MultiJoinTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  std::vector<std::vector<Value>> RunSql(const std::string& sql,
+                                         PlannerOptions options = {}) {
+    sql::Binder binder(catalog_);
+    auto q = binder.BindSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    PhysicalPlanner planner(catalog_, options);
+    auto plan = planner.CreatePlan(*q);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    ExecContext ctx;
+    auto rows = ExecutePlanRows(plan->get(), &ctx);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    return rows.ok() ? *rows : std::vector<std::vector<Value>>{};
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* MultiJoinTest::catalog_ = nullptr;
+
+// Real TPC-H Q3 shape: customer x orders x lineitem, left-deep.
+constexpr char kQ3[] =
+    "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+    "FROM customer, orders, lineitem "
+    "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+    "AND c_mktsegment = 'BUILDING' "
+    "AND o_orderdate < DATE '1995-03-15' "
+    "AND l_shipdate > DATE '1995-03-15' "
+    "GROUP BY l_orderkey ORDER BY revenue DESC LIMIT 10";
+
+TEST_F(MultiJoinTest, TpchQ3RunsEndToEnd) {
+  auto rows = RunSql(kQ3);
+  ASSERT_GT(rows.size(), 0u);
+  ASSERT_LE(rows.size(), 10u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1][1].double_value(), rows[i][1].double_value());
+  }
+}
+
+TEST_F(MultiJoinTest, ThreeTableStrategiesAgree) {
+  constexpr char kCountQ[] =
+      "SELECT COUNT(*) AS c FROM customer, orders, lineitem "
+      "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+      "AND c_acctbal > 0";
+  PlannerOptions hash;
+  hash.join_strategy = JoinStrategy::kHashJoin;
+  PlannerOptions merge;
+  merge.join_strategy = JoinStrategy::kMergeJoin;
+  auto a = RunSql(kCountQ);          // Auto: INLJ over pk indexes.
+  auto b = RunSql(kCountQ, hash);
+  auto c = RunSql(kCountQ, merge);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0][0], b[0][0]);
+  EXPECT_EQ(a[0][0], c[0][0]);
+  EXPECT_GT(a[0][0].int64_value(), 0);
+}
+
+TEST_F(MultiJoinTest, RefinementPreservesThreeTableResults) {
+  PlannerOptions refined;
+  refined.refine = true;
+  auto plain = RunSql(kQ3);
+  auto buffered = RunSql(kQ3, refined);
+  ASSERT_EQ(plain.size(), buffered.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i][0], buffered[i][0]);
+    EXPECT_NEAR(plain[i][1].double_value(), buffered[i][1].double_value(),
+                1e-6);
+  }
+}
+
+TEST_F(MultiJoinTest, RedundantEdgeBecomesFilter) {
+  // Two edges between the same pair: one drives the join, the other must
+  // still be enforced (here it is always true, so counts match).
+  auto with_redundant = RunSql(
+      "SELECT COUNT(*) AS c FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey AND l_orderkey = o_orderkey");
+  auto plain = RunSql(
+      "SELECT COUNT(*) AS c FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey");
+  EXPECT_EQ(with_redundant[0][0], plain[0][0]);
+}
+
+TEST_F(MultiJoinTest, DisconnectedTableRejected) {
+  sql::Binder binder(catalog_);
+  auto q = binder.BindSql(
+      "SELECT COUNT(*) FROM customer, orders, lineitem "
+      "WHERE c_custkey = o_custkey AND c_acctbal > 0");
+  ASSERT_TRUE(q.ok());
+  PhysicalPlanner planner(catalog_, PlannerOptions{});
+  EXPECT_FALSE(planner.CreatePlan(*q).ok());
+}
+
+TEST_F(MultiJoinTest, FourTableChain) {
+  auto rows = RunSql(
+      "SELECT COUNT(*) AS c FROM nation, customer, orders, lineitem "
+      "WHERE n_nationkey = c_nationkey AND c_custkey = o_custkey "
+      "AND o_orderkey = l_orderkey AND n_name = 'FRANCE'");
+  ASSERT_EQ(rows.size(), 1u);
+  // France is 1 of 25 nations; expect some but not all lineitems.
+  EXPECT_GT(rows[0][0].int64_value(), 0);
+  EXPECT_LT(rows[0][0].int64_value(),
+            static_cast<int64_t>(catalog_->GetTable("lineitem")->num_rows()));
+}
+
+TEST_F(MultiJoinTest, CrossPredicateAppliedAtTop) {
+  auto rows = RunSql(
+      "SELECT COUNT(*) AS c FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey AND l_extendedprice > o_totalprice");
+  ASSERT_EQ(rows.size(), 1u);
+  // A single lineitem rarely exceeds its whole order's total price, but it
+  // happens for one-line orders with discounts/taxes; just check it is a
+  // strict subset.
+  auto all = RunSql(
+      "SELECT COUNT(*) AS c FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey");
+  EXPECT_LT(rows[0][0].int64_value(), all[0][0].int64_value());
+}
+
+}  // namespace
+}  // namespace bufferdb
+
+namespace bufferdb {
+namespace {
+
+class BufferedIndexStrategyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* BufferedIndexStrategyTest::catalog_ = nullptr;
+
+TEST_F(BufferedIndexStrategyTest, AggregateMatchesIndexNestLoop) {
+  constexpr char kSql[] =
+      "SELECT SUM(o_totalprice), COUNT(*), AVG(l_discount) "
+      "FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02'";
+  sql::Binder binder(catalog_);
+  std::vector<std::vector<Value>> results[2];
+  JoinStrategy strategies[] = {JoinStrategy::kIndexNestLoop,
+                               JoinStrategy::kBufferedIndex};
+  for (int i = 0; i < 2; ++i) {
+    auto q = binder.BindSql(kSql);
+    ASSERT_TRUE(q.ok());
+    PlannerOptions options;
+    options.join_strategy = strategies[i];
+    PhysicalPlanner planner(catalog_, options);
+    auto plan = planner.CreatePlan(*q);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    if (i == 1) {
+      EXPECT_NE(PrintPlan(**plan).find("BufferedIndexJoin"),
+                std::string::npos);
+    }
+    ExecContext ctx;
+    auto rows = ExecutePlanRows(plan->get(), &ctx);
+    ASSERT_TRUE(rows.ok());
+    results[i] = *rows;
+  }
+  EXPECT_NEAR(results[0][0][0].double_value(), results[1][0][0].double_value(),
+              1e-6);
+  EXPECT_EQ(results[0][0][1], results[1][0][1]);
+}
+
+TEST_F(BufferedIndexStrategyTest, RequiresInnerIndex) {
+  sql::Binder binder(catalog_);
+  auto q = binder.BindSql(
+      "SELECT COUNT(*) FROM customer, nation WHERE c_nationkey = n_nationkey");
+  ASSERT_TRUE(q.ok());
+  PlannerOptions options;
+  options.join_strategy = JoinStrategy::kBufferedIndex;
+  PhysicalPlanner planner(catalog_, options);
+  EXPECT_FALSE(planner.CreatePlan(*q).ok());
+}
+
+}  // namespace
+}  // namespace bufferdb

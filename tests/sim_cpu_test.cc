@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim_cpu.h"
+
+namespace bufferdb::sim {
+namespace {
+
+std::vector<FuncId> Funcs(ModuleId module) {
+  auto base = ModuleBaseFuncs(module);
+  return std::vector<FuncId>(base.begin(), base.end());
+}
+
+TEST(SimCpuTest, RepeatedModuleExecutionHitsAfterWarmup) {
+  SimCpu cpu;
+  auto scan = Funcs(ModuleId::kSeqScanFiltered);
+  cpu.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+  uint64_t cold_misses = cpu.counters().l1i_misses;
+  EXPECT_GT(cold_misses, 0u);
+  for (int i = 0; i < 100; ++i) {
+    cpu.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+  }
+  // Footprint (13K) fits in L1I (16K): no further misses.
+  EXPECT_EQ(cpu.counters().l1i_misses, cold_misses);
+  EXPECT_EQ(cpu.counters().module_calls, 101u);
+}
+
+TEST(SimCpuTest, InterleavingLargeModulesThrashes) {
+  // Scan(pred) 13K + IndexScan 14K: combined 21.5K > 16K L1I.
+  SimCpu cpu;
+  auto scan = Funcs(ModuleId::kSeqScanFiltered);
+  auto index = Funcs(ModuleId::kIndexScan);
+  for (int i = 0; i < 10; ++i) {
+    cpu.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+    cpu.ExecuteModuleCall(ModuleId::kIndexScan, index);
+  }
+  cpu.ResetCounters();
+  const int kIters = 100;
+  for (int i = 0; i < kIters; ++i) {
+    cpu.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+    cpu.ExecuteModuleCall(ModuleId::kIndexScan, index);
+  }
+  // Thrashing: a significant fraction of each call's lines miss every time.
+  uint64_t lines_per_iter = cpu.counters().l1i_accesses / kIters;
+  uint64_t misses_per_iter = cpu.counters().l1i_misses / kIters;
+  EXPECT_GT(misses_per_iter, lines_per_iter / 3);
+}
+
+TEST(SimCpuTest, BufferedPatternBeatsInterleavedPattern) {
+  // The Fig. 1 experiment at the simulator level: PCPC... vs PCC...CPP...P.
+  auto scan = Funcs(ModuleId::kSeqScanFiltered);
+  auto agg_funcs = Funcs(ModuleId::kAggregation);
+  agg_funcs.push_back(FuncId::kAggSum);
+  agg_funcs.push_back(FuncId::kAggAvgExtra);
+  const int kTuples = 5000;
+
+  SimCpu interleaved;
+  for (int i = 0; i < kTuples; ++i) {
+    interleaved.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+    interleaved.ExecuteModuleCall(ModuleId::kAggregation, agg_funcs);
+  }
+
+  SimCpu buffered;
+  const int kBatch = 500;
+  for (int batch = 0; batch < kTuples / kBatch; ++batch) {
+    for (int i = 0; i < kBatch; ++i) {
+      buffered.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+    }
+    for (int i = 0; i < kBatch; ++i) {
+      buffered.ExecuteModuleCall(ModuleId::kAggregation, agg_funcs);
+    }
+  }
+
+  EXPECT_LT(buffered.counters().l1i_misses,
+            interleaved.counters().l1i_misses / 5);
+  EXPECT_LT(buffered.counters().mispredicts,
+            interleaved.counters().mispredicts);
+  // Same work: identical instruction counts (Table 4's observation).
+  EXPECT_EQ(buffered.counters().instructions,
+            interleaved.counters().instructions);
+  EXPECT_LT(buffered.Breakdown().total_cycles(),
+            interleaved.Breakdown().total_cycles());
+}
+
+TEST(SimCpuTest, FastPathMatchesSlowPathCounters) {
+  // The consecutive-same-module fast path must produce identical counters
+  // to an equivalent run that alternates signatures (forcing full probes)
+  // when everything fits: compare access counts per call.
+  auto buffer_funcs = Funcs(ModuleId::kBuffer);
+  SimCpu cpu;
+  cpu.ExecuteModuleCall(ModuleId::kBuffer, buffer_funcs);
+  uint64_t first_accesses = cpu.counters().l1i_accesses;
+  uint64_t first_instructions = cpu.counters().instructions;
+  cpu.ExecuteModuleCall(ModuleId::kBuffer, buffer_funcs);
+  EXPECT_EQ(cpu.counters().l1i_accesses, 2 * first_accesses);
+  EXPECT_EQ(cpu.counters().instructions, 2 * first_instructions);
+  EXPECT_EQ(cpu.counters().l1i_misses, first_accesses);  // Only cold misses.
+}
+
+TEST(SimCpuTest, SelfThrashingModuleNotFastPathed) {
+  // A module larger than L1I must keep missing even when executed
+  // back-to-back.
+  std::vector<FuncId> huge = {FuncId::kExecCommon, FuncId::kIndexCore,
+                              FuncId::kSortCore,   FuncId::kHashBuildCore,
+                              FuncId::kExprCmp,    FuncId::kExprArith};
+  SimCpu cpu;
+  cpu.ExecuteModuleCall(ModuleId::kSort, huge);
+  uint64_t cold = cpu.counters().l1i_misses;
+  for (int i = 0; i < 10; ++i) cpu.ExecuteModuleCall(ModuleId::kSort, huge);
+  EXPECT_GT(cpu.counters().l1i_misses, cold * 5);
+}
+
+TEST(SimCpuTest, SequentialDataIsPrefetched) {
+  SimCpu cpu;
+  // Stream through 1MB sequentially: the stride prefetcher should cover
+  // most L2 accesses after the stream is confirmed.
+  std::vector<uint8_t> data(1 << 20);
+  for (size_t i = 0; i < data.size(); i += 64) {
+    cpu.TouchData(data.data() + i, 1);
+  }
+  EXPECT_GT(cpu.counters().l1d_misses, 0u);
+  EXPECT_GT(cpu.counters().l2_prefetch_hits, cpu.counters().l2_misses);
+}
+
+TEST(SimCpuTest, PrefetchDisabledMissesMore) {
+  SimConfig no_prefetch;
+  no_prefetch.hardware_prefetch = false;
+  SimCpu off(no_prefetch);
+  SimCpu on;
+  std::vector<uint8_t> data(1 << 20);
+  for (size_t i = 0; i < data.size(); i += 64) {
+    off.TouchData(data.data() + i, 1);
+    on.TouchData(data.data() + i, 1);
+  }
+  EXPECT_GT(off.counters().l2_misses, on.counters().l2_misses * 3);
+}
+
+TEST(SimCpuTest, TouchDataSpansLines) {
+  SimCpu cpu;
+  alignas(64) static uint8_t buffer[256];
+  cpu.TouchData(buffer, 200);  // 200 bytes from aligned start: 4 lines.
+  EXPECT_EQ(cpu.counters().l1d_accesses, 4u);
+}
+
+TEST(SimCpuTest, ItlbMissesOnlyCold) {
+  // A single module's page working set (strided code layout) fits the
+  // 128-entry ITLB: repeated execution adds no misses beyond the cold set.
+  SimCpu cpu;
+  auto scan = Funcs(ModuleId::kSeqScan);
+  cpu.ExecuteModuleCall(ModuleId::kSeqScan, scan);
+  uint64_t cold = cpu.counters().itlb_misses;
+  EXPECT_GT(cold, 16u);  // Many pages: the layout is page-sparse.
+  EXPECT_LE(cold, 128u);
+  for (int i = 0; i < 50; ++i) cpu.ExecuteModuleCall(ModuleId::kSeqScan, scan);
+  EXPECT_EQ(cpu.counters().itlb_misses, cold);
+}
+
+TEST(SimCpuTest, InterleavedLargeModulesThrashItlb) {
+  // Two large modules exceed the ITLB page capacity when interleaved — the
+  // paper's ITLB observation (§7.2: misses drop 86% once buffered).
+  SimCpu cpu;
+  auto scan = Funcs(ModuleId::kSeqScanFiltered);
+  auto agg = Funcs(ModuleId::kAggregation);
+  agg.push_back(FuncId::kAggSum);
+  agg.push_back(FuncId::kAggAvgExtra);
+  for (int i = 0; i < 20; ++i) {
+    cpu.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+    cpu.ExecuteModuleCall(ModuleId::kAggregation, agg);
+  }
+  cpu.ResetCounters();
+  for (int i = 0; i < 20; ++i) {
+    cpu.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+    cpu.ExecuteModuleCall(ModuleId::kAggregation, agg);
+  }
+  EXPECT_GT(cpu.counters().itlb_misses, 20u * 20u);
+}
+
+TEST(SimCpuTest, ResetRestoresColdState) {
+  SimCpu cpu;
+  auto scan = Funcs(ModuleId::kSeqScan);
+  cpu.ExecuteModuleCall(ModuleId::kSeqScan, scan);
+  uint64_t cold = cpu.counters().l1i_misses;
+  cpu.Reset();
+  EXPECT_EQ(cpu.counters().l1i_misses, 0u);
+  cpu.ExecuteModuleCall(ModuleId::kSeqScan, scan);
+  EXPECT_EQ(cpu.counters().l1i_misses, cold);
+}
+
+TEST(SimCpuTest, BreakdownAccountsAllComponents) {
+  SimCpu cpu;
+  auto scan = Funcs(ModuleId::kSeqScan);
+  for (int i = 0; i < 10; ++i) cpu.ExecuteModuleCall(ModuleId::kSeqScan, scan);
+  CycleBreakdown b = cpu.Breakdown();
+  EXPECT_GT(b.base_cycles, 0.0);
+  EXPECT_GT(b.total_cycles(), b.base_cycles);
+  EXPECT_GT(b.seconds(), 0.0);
+  EXPECT_GT(b.cpi(), 0.0);
+  EXPECT_NEAR(b.total_cycles(),
+              b.base_cycles + b.l1i_penalty + b.l2_penalty + b.l1d_penalty +
+                  b.branch_penalty + b.itlb_penalty,
+              1e-6);
+}
+
+TEST(SimCountersTest, Arithmetic) {
+  SimCounters a;
+  a.instructions = 10;
+  a.l1i_misses = 3;
+  SimCounters b;
+  b.instructions = 4;
+  b.l1i_misses = 1;
+  a += b;
+  EXPECT_EQ(a.instructions, 14u);
+  SimCounters c = a - b;
+  EXPECT_EQ(c.instructions, 10u);
+  EXPECT_EQ(c.l1i_misses, 3u);
+}
+
+}  // namespace
+}  // namespace bufferdb::sim
+
+namespace bufferdb::sim {
+namespace {
+
+std::vector<FuncId> ModFuncs(ModuleId module) {
+  auto base = ModuleBaseFuncs(module);
+  return std::vector<FuncId>(base.begin(), base.end());
+}
+
+TEST(SimCpuInvariantTest, MissesNeverExceedAccesses) {
+  SimCpu cpu;
+  auto scan = ModFuncs(ModuleId::kSeqScanFiltered);
+  auto sort = ModFuncs(ModuleId::kSort);
+  std::vector<uint8_t> data(1 << 18);
+  for (int i = 0; i < 200; ++i) {
+    cpu.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+    cpu.ExecuteModuleCall(ModuleId::kSort, sort);
+    cpu.TouchData(data.data() + (i * 997) % data.size(), 100);
+  }
+  const SimCounters& c = cpu.counters();
+  EXPECT_LE(c.l1i_misses, c.l1i_accesses);
+  EXPECT_LE(c.l1d_misses, c.l1d_accesses);
+  EXPECT_LE(c.l2_misses, c.l2_accesses);
+  EXPECT_LE(c.mispredicts, c.branches);
+  EXPECT_LE(c.itlb_misses, c.itlb_accesses);
+  EXPECT_GT(c.instructions, 0u);
+}
+
+TEST(SimCpuInvariantTest, L2AccessesAccountForL1Misses) {
+  // Every L2 access originates from an L1-I or L1-D miss.
+  SimCpu cpu;
+  auto scan = ModFuncs(ModuleId::kSeqScanFiltered);
+  auto sort = ModFuncs(ModuleId::kSort);
+  std::vector<uint8_t> data(1 << 16);
+  for (int i = 0; i < 100; ++i) {
+    cpu.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+    cpu.ExecuteModuleCall(ModuleId::kSort, sort);
+    cpu.TouchData(data.data() + (i * 4093) % data.size(), 64);
+  }
+  const SimCounters& c = cpu.counters();
+  EXPECT_EQ(c.l2_accesses, c.l1i_misses + c.l1d_misses);
+  EXPECT_LE(c.l2_i_misses, c.l2_misses);
+}
+
+TEST(SimCpuInvariantTest, InstructionCountScalesWithFootprint) {
+  SimCpu cpu;
+  auto buffer = ModFuncs(ModuleId::kBuffer);   // 500 bytes.
+  auto scan = ModFuncs(ModuleId::kSeqScan);    // 9000 bytes.
+  cpu.ExecuteModuleCall(ModuleId::kBuffer, buffer);
+  uint64_t small = cpu.counters().instructions;
+  cpu.ResetCounters();
+  cpu.ExecuteModuleCall(ModuleId::kSeqScan, scan);
+  uint64_t big = cpu.counters().instructions;
+  EXPECT_EQ(small, 500u / 4u * cpu.config().insn_repeat);
+  EXPECT_EQ(big, 9000u / 4u * cpu.config().insn_repeat);
+}
+
+TEST(SimCpuInvariantTest, InstructionSideIsAddressIndependentDeterministic) {
+  // Two separately constructed CPUs fed the same module stream agree on
+  // every instruction-side counter.
+  auto run = [] {
+    SimCpu cpu;
+    auto scan = ModFuncs(ModuleId::kSeqScanFiltered);
+    auto agg = ModFuncs(ModuleId::kAggregation);
+    for (int i = 0; i < 500; ++i) {
+      cpu.ExecuteModuleCall(ModuleId::kSeqScanFiltered, scan);
+      cpu.ExecuteModuleCall(ModuleId::kAggregation, agg);
+    }
+    return cpu.counters();
+  };
+  SimCounters a = run();
+  SimCounters b = run();
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.l1i_misses, b.l1i_misses);
+  EXPECT_EQ(a.mispredicts, b.mispredicts);
+  EXPECT_EQ(a.itlb_misses, b.itlb_misses);
+}
+
+}  // namespace
+}  // namespace bufferdb::sim

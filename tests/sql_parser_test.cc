@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "sql/parser.h"
+
+namespace bufferdb::sql {
+namespace {
+
+SelectStatement MustParse(const std::string& sql) {
+  auto r = ParseSelect(sql);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? std::move(*r) : SelectStatement{};
+}
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT x, 42, 3.5, 'str' <= <> !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "select");  // Lowercased.
+  EXPECT_EQ((*tokens)[2].type, TokenType::kSymbol);
+  EXPECT_EQ((*tokens)[3].int_value, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[5].float_value, 3.5);
+  EXPECT_EQ((*tokens)[7].text, "str");
+  EXPECT_EQ((*tokens)[8].text, "<=");
+  EXPECT_EQ((*tokens)[9].text, "<>");
+  EXPECT_EQ((*tokens)[10].text, "<>");  // != normalized.
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, RejectsBadInput) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+TEST(ParserTest, Query1FromThePaper) {
+  SelectStatement stmt = MustParse(R"(
+      SELECT SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax))
+               AS sum_charge,
+             AVG(l_quantity) AS avg_qty,
+             COUNT(*) AS count_order
+      FROM lineitem
+      WHERE l_shipdate <= DATE '1998-09-02';)");
+  ASSERT_EQ(stmt.items.size(), 3u);
+  EXPECT_TRUE(stmt.items[0].is_aggregate);
+  EXPECT_EQ(stmt.items[0].agg_func, AggFunc::kSum);
+  EXPECT_EQ(stmt.items[0].alias, "sum_charge");
+  EXPECT_EQ(stmt.items[2].agg_func, AggFunc::kCountStar);
+  EXPECT_EQ(stmt.items[2].expr, nullptr);
+  ASSERT_EQ(stmt.from_tables.size(), 1u);
+  EXPECT_EQ(stmt.from_tables[0], "lineitem");
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->binary_op, BinaryOp::kLe);
+  EXPECT_EQ(stmt.where->right->literal.type(), DataType::kDate);
+  EXPECT_EQ(stmt.where->right->literal.date_value(),
+            bufferdb::MakeDate(1998, 9, 2));
+}
+
+TEST(ParserTest, Query3FromThePaper) {
+  SelectStatement stmt = MustParse(R"(
+      SELECT SUM(o_totalprice), COUNT(*), AVG(l_discount)
+      FROM lineitem, orders
+      WHERE l_orderkey = o_orderkey
+        AND l_shipdate <= DATE '1998-09-02')");
+  EXPECT_EQ(stmt.from_tables.size(), 2u);
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, GroupByOrderByLimit) {
+  SelectStatement stmt = MustParse(
+      "SELECT l_returnflag, COUNT(*) FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag DESC LIMIT 10");
+  ASSERT_EQ(stmt.group_by.size(), 1u);
+  EXPECT_EQ(stmt.group_by[0], "l_returnflag");
+  ASSERT_EQ(stmt.order_by.size(), 1u);
+  EXPECT_TRUE(stmt.order_by[0].descending);
+  EXPECT_EQ(stmt.limit, 10);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  SelectStatement stmt =
+      MustParse("SELECT a FROM t WHERE a + b * 2 < 10 AND c = 1 OR d = 2");
+  // OR at the root.
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->binary_op, BinaryOp::kOr);
+  EXPECT_EQ(stmt.where->left->binary_op, BinaryOp::kAnd);
+  const ParseExpr& cmp = *stmt.where->left->left;
+  EXPECT_EQ(cmp.binary_op, BinaryOp::kLt);
+  // a + (b * 2).
+  EXPECT_EQ(cmp.left->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(cmp.left->right->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  SelectStatement stmt = MustParse("SELECT (a + b) * 2 FROM t");
+  EXPECT_EQ(stmt.items[0].expr->binary_op, BinaryOp::kMul);
+  EXPECT_EQ(stmt.items[0].expr->left->binary_op, BinaryOp::kAdd);
+}
+
+TEST(ParserTest, UnaryConstructs) {
+  SelectStatement stmt =
+      MustParse("SELECT a FROM t WHERE NOT a = 1 AND b IS NOT NULL AND -c < 0");
+  EXPECT_EQ(stmt.where->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, QualifiedColumnNames) {
+  SelectStatement stmt =
+      MustParse("SELECT lineitem.l_orderkey FROM lineitem");
+  EXPECT_EQ(stmt.items[0].expr->column_name, "lineitem.l_orderkey");
+}
+
+TEST(ParserTest, CountColumnVsCountStar) {
+  SelectStatement stmt = MustParse("SELECT COUNT(a), COUNT(*) FROM t");
+  EXPECT_EQ(stmt.items[0].agg_func, AggFunc::kCount);
+  ASSERT_NE(stmt.items[0].expr, nullptr);
+  EXPECT_EQ(stmt.items[1].agg_func, AggFunc::kCountStar);
+}
+
+TEST(ParserTest, ErrorsAreDiagnosed) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());             // No FROM.
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());        // No table.
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT SUM(a FROM t").ok());  // Missing ')'.
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra_tokens").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE d = DATE '1998-99-99'").ok());
+}
+
+TEST(ParserTest, ToStringRendersTree) {
+  SelectStatement stmt = MustParse("SELECT a FROM t WHERE a * 2 <= 10");
+  EXPECT_EQ(stmt.where->ToString(), "((a * 2) <= 10)");
+}
+
+}  // namespace
+}  // namespace bufferdb::sql
+
+namespace bufferdb::sql {
+namespace {
+
+TEST(ParserExtensionsTest, BetweenDesugarsToRange) {
+  auto r = ParseSelect("SELECT a FROM t WHERE a BETWEEN 2 AND 5");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ParseExpr& w = *r->where;
+  EXPECT_EQ(w.binary_op, BinaryOp::kAnd);
+  EXPECT_EQ(w.left->binary_op, BinaryOp::kGe);
+  EXPECT_EQ(w.right->binary_op, BinaryOp::kLe);
+  EXPECT_EQ(w.left->left->column_name, "a");
+  EXPECT_EQ(w.right->left->column_name, "a");
+}
+
+TEST(ParserExtensionsTest, InDesugarsToDisjunction) {
+  auto r = ParseSelect("SELECT a FROM t WHERE m IN ('MAIL', 'SHIP', 'AIR')");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->where->binary_op, BinaryOp::kOr);
+  EXPECT_EQ(r->where->right->binary_op, BinaryOp::kEq);
+}
+
+TEST(ParserExtensionsTest, NotInWrapsNot) {
+  auto r = ParseSelect("SELECT a FROM t WHERE m NOT IN (1, 2)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->where->kind, ParseExpr::Kind::kUnary);
+  EXPECT_EQ(r->where->unary_op, UnaryOp::kNot);
+}
+
+TEST(ParserExtensionsTest, LikeAndNotLike) {
+  auto r = ParseSelect("SELECT a FROM t WHERE p LIKE 'PROMO%'");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->where->binary_op, BinaryOp::kLike);
+
+  auto n = ParseSelect("SELECT a FROM t WHERE p NOT LIKE 'PROMO%'");
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(n->where->kind, ParseExpr::Kind::kUnary);
+  EXPECT_EQ(n->where->left->binary_op, BinaryOp::kLike);
+}
+
+TEST(ParserExtensionsTest, Errors) {
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE a BETWEEN 1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE a IN 1, 2").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE a NOT 5").ok());
+}
+
+}  // namespace
+}  // namespace bufferdb::sql

@@ -1,0 +1,69 @@
+#ifndef BUFFERDB_TESTS_TEST_UTIL_H_
+#define BUFFERDB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+#include "storage/table.h"
+
+namespace bufferdb::testutil {
+
+/// Two-column (k INT64, v DOUBLE) table from (k, v) pairs.
+inline std::unique_ptr<Table> MakeKvTable(
+    const std::string& name,
+    const std::vector<std::pair<int64_t, double>>& rows) {
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}});
+  auto table = std::make_unique<Table>(name, schema);
+  for (const auto& [k, v] : rows) {
+    table->AppendRow({Value::Int64(k), Value::Double(v)});
+  }
+  return table;
+}
+
+inline ExprPtr Col(const Schema& schema, const std::string& name) {
+  auto r = MakeColumnRef(schema, name);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(*r);
+}
+
+inline ExprPtr Bin(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto res = MakeBinary(op, std::move(l), std::move(r));
+  EXPECT_TRUE(res.ok()) << res.status();
+  return std::move(*res);
+}
+
+inline ExprPtr Lit(Value v) { return MakeLiteral(std::move(v)); }
+
+/// Executes a plan (no simulation) and returns boxed rows.
+inline std::vector<std::vector<Value>> RunPlan(Operator* root) {
+  ExecContext ctx;
+  auto rows = ExecutePlanRows(root, &ctx);
+  EXPECT_TRUE(rows.ok()) << rows.status();
+  return rows.ok() ? *rows : std::vector<std::vector<Value>>{};
+}
+
+/// Renders result rows as sorted strings for order-insensitive comparison.
+inline std::vector<std::string> Canonical(
+    const std::vector<std::vector<Value>>& rows) {
+  std::vector<std::string> out;
+  for (const auto& row : rows) {
+    std::string s;
+    for (const Value& v : row) {
+      s += v.ToString();
+      s += "|";
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bufferdb::testutil
+
+#endif  // BUFFERDB_TESTS_TEST_UTIL_H_

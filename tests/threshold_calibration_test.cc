@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/threshold_calibration.h"
+
+namespace bufferdb {
+namespace {
+
+class ThresholdCalibrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Small table keeps the suite fast; the experiment sweeps output
+    // cardinality via predicate selectivity either way.
+    result_ = new ThresholdCalibrationResult(CalibrateCardinalityThreshold(
+        sim::SimConfig(), /*buffer_size=*/1000, /*table_rows=*/8000));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static ThresholdCalibrationResult* result_;
+};
+
+ThresholdCalibrationResult* ThresholdCalibrationTest::result_ = nullptr;
+
+TEST_F(ThresholdCalibrationTest, ProducesSweepPoints) {
+  EXPECT_GE(result_->points.size(), 8u);
+  for (const CalibrationPoint& p : result_->points) {
+    EXPECT_GT(p.original_seconds, 0.0);
+    EXPECT_GT(p.buffered_seconds, 0.0);
+  }
+}
+
+TEST_F(ThresholdCalibrationTest, BufferedWinsAtHighCardinality) {
+  const CalibrationPoint& last = result_->points.back();
+  EXPECT_LT(last.buffered_seconds, last.original_seconds);
+}
+
+TEST_F(ThresholdCalibrationTest, ThresholdIsFiniteAndPositive) {
+  EXPECT_GT(result_->threshold, 0.0);
+  EXPECT_LE(result_->threshold, result_->points.back().cardinality);
+}
+
+TEST_F(ThresholdCalibrationTest, BufferedStaysAheadBeyondThreshold) {
+  for (const CalibrationPoint& p : result_->points) {
+    if (p.cardinality >= result_->threshold) {
+      EXPECT_LT(p.buffered_seconds, p.original_seconds)
+          << "cardinality " << p.cardinality;
+    }
+  }
+}
+
+TEST_F(ThresholdCalibrationTest, ElapsedTimeGrowsWithCardinality) {
+  // More qualifying tuples means more aggregation work in both plans.
+  EXPECT_GT(result_->points.back().original_seconds,
+            result_->points.front().original_seconds);
+}
+
+TEST_F(ThresholdCalibrationTest, ReportIsPrintable) {
+  std::string s = result_->ToString();
+  EXPECT_NE(s.find("threshold"), std::string::npos);
+  EXPECT_NE(s.find("buffered"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bufferdb

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_schema.h"
+
+namespace bufferdb::tpch {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    TpchConfig config;
+    config.scale_factor = 0.005;
+    ASSERT_TRUE(LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* TpchTest::catalog_ = nullptr;
+
+TEST_F(TpchTest, AllTablesPresent) {
+  for (const char* name : {"region", "nation", "supplier", "customer", "part",
+                           "partsupp", "orders", "lineitem"}) {
+    EXPECT_NE(catalog_->GetTable(name), nullptr) << name;
+  }
+}
+
+TEST_F(TpchTest, RowCountsScale) {
+  EXPECT_EQ(catalog_->GetTable("region")->num_rows(), 5u);
+  EXPECT_EQ(catalog_->GetTable("nation")->num_rows(), 25u);
+  EXPECT_EQ(catalog_->GetTable("supplier")->num_rows(), 50u);
+  EXPECT_EQ(catalog_->GetTable("customer")->num_rows(), 750u);
+  EXPECT_EQ(catalog_->GetTable("part")->num_rows(), 1000u);
+  EXPECT_EQ(catalog_->GetTable("partsupp")->num_rows(), 4000u);
+  EXPECT_EQ(catalog_->GetTable("orders")->num_rows(), 7500u);
+  // 1..7 lineitems per order, expectation 4x.
+  size_t lineitems = catalog_->GetTable("lineitem")->num_rows();
+  EXPECT_GT(lineitems, 7500u * 3);
+  EXPECT_LT(lineitems, 7500u * 5);
+}
+
+TEST_F(TpchTest, OrderKeysAreDense) {
+  Table* orders = catalog_->GetTable("orders");
+  for (size_t i = 0; i < orders->num_rows(); ++i) {
+    EXPECT_EQ(orders->view(i).GetInt64(0), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST_F(TpchTest, LineitemForeignKeysValid) {
+  Table* lineitem = catalog_->GetTable("lineitem");
+  int64_t num_orders = static_cast<int64_t>(
+      catalog_->GetTable("orders")->num_rows());
+  int64_t num_parts =
+      static_cast<int64_t>(catalog_->GetTable("part")->num_rows());
+  const Schema& s = lineitem->schema();
+  int ok_col = s.FindColumn("l_orderkey");
+  int pk_col = s.FindColumn("l_partkey");
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    TupleView v = lineitem->view(i);
+    ASSERT_GE(v.GetInt64(ok_col), 1);
+    ASSERT_LE(v.GetInt64(ok_col), num_orders);
+    ASSERT_GE(v.GetInt64(pk_col), 1);
+    ASSERT_LE(v.GetInt64(pk_col), num_parts);
+  }
+}
+
+TEST_F(TpchTest, ShipdateWithinSpecRange) {
+  Table* lineitem = catalog_->GetTable("lineitem");
+  int col = lineitem->schema().FindColumn("l_shipdate");
+  int64_t lo = MakeDate(1992, 1, 1);
+  int64_t hi = MakeDate(1998, 12, 31);
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    int64_t d = lineitem->view(i).GetInt64(col);
+    ASSERT_GE(d, lo);
+    ASSERT_LE(d, hi);
+  }
+}
+
+TEST_F(TpchTest, DiscountAndTaxRanges) {
+  Table* lineitem = catalog_->GetTable("lineitem");
+  const Schema& s = lineitem->schema();
+  int disc = s.FindColumn("l_discount");
+  int tax = s.FindColumn("l_tax");
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    TupleView v = lineitem->view(i);
+    ASSERT_GE(v.GetDouble(disc), 0.0);
+    ASSERT_LE(v.GetDouble(disc), 0.10 + 1e-9);
+    ASSERT_GE(v.GetDouble(tax), 0.0);
+    ASSERT_LE(v.GetDouble(tax), 0.08 + 1e-9);
+  }
+}
+
+TEST_F(TpchTest, TotalPriceConsistentWithLineitems) {
+  // o_totalprice = sum over the order's lineitems of
+  // extendedprice*(1-discount)*(1+tax).
+  Table* orders = catalog_->GetTable("orders");
+  Table* lineitem = catalog_->GetTable("lineitem");
+  const Schema& ls = lineitem->schema();
+  std::vector<double> totals(orders->num_rows() + 1, 0.0);
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    TupleView v = lineitem->view(i);
+    double charge = v.GetDouble(ls.FindColumn("l_extendedprice")) *
+                    (1 - v.GetDouble(ls.FindColumn("l_discount"))) *
+                    (1 + v.GetDouble(ls.FindColumn("l_tax")));
+    totals[static_cast<size_t>(v.GetInt64(0))] += charge;
+  }
+  for (size_t i = 0; i < orders->num_rows(); ++i) {
+    EXPECT_NEAR(orders->view(i).GetDouble(3), totals[i + 1], 1e-6);
+  }
+}
+
+TEST_F(TpchTest, IndexesBuilt) {
+  EXPECT_NE(catalog_->GetIndex("orders_pk"), nullptr);
+  EXPECT_NE(catalog_->GetIndex("lineitem_orderkey"), nullptr);
+  const IndexInfo* pk = catalog_->GetIndex("orders_pk");
+  EXPECT_TRUE(pk->unique);
+  EXPECT_EQ(pk->btree->size(), catalog_->GetTable("orders")->num_rows());
+  const IndexInfo* li = catalog_->GetIndex("lineitem_orderkey");
+  EXPECT_FALSE(li->unique);
+  EXPECT_EQ(li->btree->size(), catalog_->GetTable("lineitem")->num_rows());
+}
+
+TEST_F(TpchTest, ReturnFlagConsistentWithLinestatus) {
+  Table* lineitem = catalog_->GetTable("lineitem");
+  const Schema& s = lineitem->schema();
+  int rf = s.FindColumn("l_returnflag");
+  int lst = s.FindColumn("l_linestatus");
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    TupleView v = lineitem->view(i);
+    std::string_view flag = v.GetString(rf);
+    std::string_view status = v.GetString(lst);
+    if (status == "O") {
+      ASSERT_EQ(flag, "N");
+    } else {
+      ASSERT_TRUE(flag == "R" || flag == "A");
+    }
+  }
+}
+
+TEST(TpchGenTest, DeterministicAcrossRuns) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  Catalog a, b;
+  ASSERT_TRUE(LoadTpch(config, &a).ok());
+  ASSERT_TRUE(LoadTpch(config, &b).ok());
+  Table* la = a.GetTable("lineitem");
+  Table* lb = b.GetTable("lineitem");
+  ASSERT_EQ(la->num_rows(), lb->num_rows());
+  for (size_t i = 0; i < la->num_rows(); i += 97) {
+    EXPECT_EQ(la->view(i).ToString(), lb->view(i).ToString());
+  }
+}
+
+TEST(TpchGenTest, NumOrdersScales) {
+  EXPECT_EQ(NumOrders(1.0), 1500000);
+  EXPECT_EQ(NumOrders(0.01), 15000);
+  EXPECT_EQ(NumOrders(0.0), 1);  // Clamped.
+}
+
+TEST(TpchSchemaTest, LineitemHas16Columns) {
+  EXPECT_EQ(LineitemSchema().num_columns(), 16u);
+  EXPECT_EQ(OrdersSchema().num_columns(), 9u);
+  EXPECT_EQ(LineitemSchema().column(10).name, "l_shipdate");
+  EXPECT_EQ(LineitemSchema().column(10).type, DataType::kDate);
+}
+
+}  // namespace
+}  // namespace bufferdb::tpch

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/date.h"
+
+namespace bufferdb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(ValueTest, FactoriesSetTypeAndValue) {
+  EXPECT_EQ(Value::Int64(7).int64_value(), 7);
+  EXPECT_EQ(Value::Int64(7).type(), DataType::kInt64);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Date(MakeDate(1995, 6, 17)).date_value(),
+            MakeDate(1995, 6, 17));
+  EXPECT_FALSE(Value::Int64(0).is_null());
+}
+
+TEST(ValueTest, AsDoubleWidensIntegers) {
+  EXPECT_DOUBLE_EQ(Value::Int64(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble(), 1.0);
+}
+
+TEST(ValueTest, CompareNumericCrossTypes) {
+  EXPECT_LT(Value::Compare(Value::Int64(2), Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Compare(Value::Double(3.0), Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Compare(Value::Int64(2), Value::Double(2.0)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::Compare(Value::String("abc"), Value::String("abd")), 0);
+  EXPECT_EQ(Value::Compare(Value::String("x"), Value::String("x")), 0);
+  EXPECT_GT(Value::Compare(Value::String("b"), Value::String("a")), 0);
+}
+
+TEST(ValueTest, EqualityIncludesNulls) {
+  EXPECT_EQ(Value::Null(), Value::Null(DataType::kDouble));
+  EXPECT_FALSE(Value::Null() == Value::Int64(0));
+  EXPECT_EQ(Value::Int64(5), Value::Int64(5));
+  EXPECT_FALSE(Value::String("a") == Value::String("b"));
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Date(MakeDate(1998, 9, 2)).ToString(), "1998-09-02");
+  EXPECT_EQ(Value::String("q").ToString(), "q");
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "STRING");
+}
+
+TEST(DataTypeTest, NumericClassification) {
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_TRUE(IsNumeric(DataType::kDate));
+  EXPECT_TRUE(IsNumeric(DataType::kBool));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_EQ(s.FindColumn("c"), -1);
+  EXPECT_EQ(s.num_columns(), 2u);
+}
+
+TEST(SchemaTest, FixedBytes) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.fixed_bytes(), Schema::kHeaderBytes + 16);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema left({{"a", DataType::kInt64}});
+  Schema right({{"b", DataType::kDouble}, {"c", DataType::kString}});
+  Schema joined = Schema::Concat(left, right);
+  ASSERT_EQ(joined.num_columns(), 3u);
+  EXPECT_EQ(joined.column(0).name, "a");
+  EXPECT_EQ(joined.column(1).name, "b");
+  EXPECT_EQ(joined.column(2).name, "c");
+  EXPECT_EQ(joined.column(2).type, DataType::kString);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s({{"x", DataType::kDate}});
+  EXPECT_EQ(s.ToString(), "(x:DATE)");
+}
+
+}  // namespace
+}  // namespace bufferdb
