@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_branch"
+  "../bench/bench_ablation_branch.pdb"
+  "CMakeFiles/bench_ablation_branch.dir/bench_ablation_branch.cc.o"
+  "CMakeFiles/bench_ablation_branch.dir/bench_ablation_branch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

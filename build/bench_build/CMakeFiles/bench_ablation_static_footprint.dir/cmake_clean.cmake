@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_static_footprint"
+  "../bench/bench_ablation_static_footprint.pdb"
+  "CMakeFiles/bench_ablation_static_footprint.dir/bench_ablation_static_footprint.cc.o"
+  "CMakeFiles/bench_ablation_static_footprint.dir/bench_ablation_static_footprint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_static_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_buffered_index"
+  "../bench/bench_ext_buffered_index.pdb"
+  "CMakeFiles/bench_ext_buffered_index.dir/bench_ext_buffered_index.cc.o"
+  "CMakeFiles/bench_ext_buffered_index.dir/bench_ext_buffered_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_buffered_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

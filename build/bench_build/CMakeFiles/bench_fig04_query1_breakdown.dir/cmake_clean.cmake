@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_query1_breakdown"
+  "../bench/bench_fig04_query1_breakdown.pdb"
+  "CMakeFiles/bench_fig04_query1_breakdown.dir/bench_fig04_query1_breakdown.cc.o"
+  "CMakeFiles/bench_fig04_query1_breakdown.dir/bench_fig04_query1_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_query1_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_cardinality"
+  "../bench/bench_fig11_cardinality.pdb"
+  "CMakeFiles/bench_fig11_cardinality.dir/bench_fig11_cardinality.cc.o"
+  "CMakeFiles/bench_fig11_cardinality.dir/bench_fig11_cardinality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

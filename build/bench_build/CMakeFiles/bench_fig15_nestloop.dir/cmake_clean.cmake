@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_nestloop"
+  "../bench/bench_fig15_nestloop.pdb"
+  "CMakeFiles/bench_fig15_nestloop.dir/bench_fig15_nestloop.cc.o"
+  "CMakeFiles/bench_fig15_nestloop.dir/bench_fig15_nestloop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_nestloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

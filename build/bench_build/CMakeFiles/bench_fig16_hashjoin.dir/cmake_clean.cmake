@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_hashjoin"
+  "../bench/bench_fig16_hashjoin.pdb"
+  "CMakeFiles/bench_fig16_hashjoin.dir/bench_fig16_hashjoin.cc.o"
+  "CMakeFiles/bench_fig16_hashjoin.dir/bench_fig16_hashjoin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_hashjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_mergejoin"
+  "../bench/bench_fig17_mergejoin.pdb"
+  "CMakeFiles/bench_fig17_mergejoin.dir/bench_fig17_mergejoin.cc.o"
+  "CMakeFiles/bench_fig17_mergejoin.dir/bench_fig17_mergejoin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mergejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

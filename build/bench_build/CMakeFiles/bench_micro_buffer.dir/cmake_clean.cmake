@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_buffer"
+  "../bench/bench_micro_buffer.pdb"
+  "CMakeFiles/bench_micro_buffer.dir/bench_micro_buffer.cc.o"
+  "CMakeFiles/bench_micro_buffer.dir/bench_micro_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_system"
+  "../bench/bench_table1_system.pdb"
+  "CMakeFiles/bench_table1_system.dir/bench_table1_system.cc.o"
+  "CMakeFiles/bench_table1_system.dir/bench_table1_system.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

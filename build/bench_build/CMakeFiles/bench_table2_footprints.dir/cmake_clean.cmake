@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_footprints"
+  "../bench/bench_table2_footprints.pdb"
+  "CMakeFiles/bench_table2_footprints.dir/bench_table2_footprints.cc.o"
+  "CMakeFiles/bench_table2_footprints.dir/bench_table2_footprints.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_join_improvement"
+  "../bench/bench_table3_join_improvement.pdb"
+  "CMakeFiles/bench_table3_join_improvement.dir/bench_table3_join_improvement.cc.o"
+  "CMakeFiles/bench_table3_join_improvement.dir/bench_table3_join_improvement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_join_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_cpi"
+  "../bench/bench_table4_cpi.pdb"
+  "CMakeFiles/bench_table4_cpi.dir/bench_table4_cpi.cc.o"
+  "CMakeFiles/bench_table4_cpi.dir/bench_table4_cpi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_tpch"
+  "../bench/bench_table5_tpch.pdb"
+  "CMakeFiles/bench_table5_tpch.dir/bench_table5_tpch.cc.o"
+  "CMakeFiles/bench_table5_tpch.dir/bench_table5_tpch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

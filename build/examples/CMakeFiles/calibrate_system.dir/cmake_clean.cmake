@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_system.dir/calibrate_system.cpp.o"
+  "CMakeFiles/calibrate_system.dir/calibrate_system.cpp.o.d"
+  "calibrate_system"
+  "calibrate_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

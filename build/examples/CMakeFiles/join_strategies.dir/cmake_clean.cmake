@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_strategies.dir/join_strategies.cpp.o"
+  "CMakeFiles/join_strategies.dir/join_strategies.cpp.o.d"
+  "join_strategies"
+  "join_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_pricing_summary.dir/tpch_pricing_summary.cpp.o"
+  "CMakeFiles/tpch_pricing_summary.dir/tpch_pricing_summary.cpp.o.d"
+  "tpch_pricing_summary"
+  "tpch_pricing_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_pricing_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/bufferdb.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/bufferdb.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/value.cc" "src/CMakeFiles/bufferdb.dir/catalog/value.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/catalog/value.cc.o.d"
+  "/root/repo/src/common/arena.cc" "src/CMakeFiles/bufferdb.dir/common/arena.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/common/arena.cc.o.d"
+  "/root/repo/src/common/date.cc" "src/CMakeFiles/bufferdb.dir/common/date.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/common/date.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/bufferdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/common/status.cc.o.d"
+  "/root/repo/src/core/buffer_operator.cc" "src/CMakeFiles/bufferdb.dir/core/buffer_operator.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/core/buffer_operator.cc.o.d"
+  "/root/repo/src/core/buffered_index_join.cc" "src/CMakeFiles/bufferdb.dir/core/buffered_index_join.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/core/buffered_index_join.cc.o.d"
+  "/root/repo/src/core/execution_group.cc" "src/CMakeFiles/bufferdb.dir/core/execution_group.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/core/execution_group.cc.o.d"
+  "/root/repo/src/core/plan_refiner.cc" "src/CMakeFiles/bufferdb.dir/core/plan_refiner.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/core/plan_refiner.cc.o.d"
+  "/root/repo/src/core/threshold_calibration.cc" "src/CMakeFiles/bufferdb.dir/core/threshold_calibration.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/core/threshold_calibration.cc.o.d"
+  "/root/repo/src/exec/aggregation.cc" "src/CMakeFiles/bufferdb.dir/exec/aggregation.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/aggregation.cc.o.d"
+  "/root/repo/src/exec/distinct.cc" "src/CMakeFiles/bufferdb.dir/exec/distinct.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/distinct.cc.o.d"
+  "/root/repo/src/exec/filter.cc" "src/CMakeFiles/bufferdb.dir/exec/filter.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/filter.cc.o.d"
+  "/root/repo/src/exec/hash_aggregation.cc" "src/CMakeFiles/bufferdb.dir/exec/hash_aggregation.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/hash_aggregation.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/bufferdb.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/index_scan.cc" "src/CMakeFiles/bufferdb.dir/exec/index_scan.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/index_scan.cc.o.d"
+  "/root/repo/src/exec/limit.cc" "src/CMakeFiles/bufferdb.dir/exec/limit.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/limit.cc.o.d"
+  "/root/repo/src/exec/materialize.cc" "src/CMakeFiles/bufferdb.dir/exec/materialize.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/materialize.cc.o.d"
+  "/root/repo/src/exec/merge_join.cc" "src/CMakeFiles/bufferdb.dir/exec/merge_join.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/merge_join.cc.o.d"
+  "/root/repo/src/exec/nested_loop_join.cc" "src/CMakeFiles/bufferdb.dir/exec/nested_loop_join.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/nested_loop_join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/bufferdb.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/bufferdb.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/seq_scan.cc" "src/CMakeFiles/bufferdb.dir/exec/seq_scan.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/seq_scan.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/bufferdb.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/sort.cc.o.d"
+  "/root/repo/src/exec/stream_aggregation.cc" "src/CMakeFiles/bufferdb.dir/exec/stream_aggregation.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/stream_aggregation.cc.o.d"
+  "/root/repo/src/exec/topn.cc" "src/CMakeFiles/bufferdb.dir/exec/topn.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/exec/topn.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/bufferdb.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/bufferdb.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/expr/expression.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/bufferdb.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/index/btree.cc.o.d"
+  "/root/repo/src/plan/cardinality.cc" "src/CMakeFiles/bufferdb.dir/plan/cardinality.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/plan/cardinality.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/bufferdb.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/physical_planner.cc" "src/CMakeFiles/bufferdb.dir/plan/physical_planner.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/plan/physical_planner.cc.o.d"
+  "/root/repo/src/plan/plan_printer.cc" "src/CMakeFiles/bufferdb.dir/plan/plan_printer.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/plan/plan_printer.cc.o.d"
+  "/root/repo/src/profile/calibration_io.cc" "src/CMakeFiles/bufferdb.dir/profile/calibration_io.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/profile/calibration_io.cc.o.d"
+  "/root/repo/src/profile/calibration_queries.cc" "src/CMakeFiles/bufferdb.dir/profile/calibration_queries.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/profile/calibration_queries.cc.o.d"
+  "/root/repo/src/profile/call_graph.cc" "src/CMakeFiles/bufferdb.dir/profile/call_graph.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/profile/call_graph.cc.o.d"
+  "/root/repo/src/profile/call_sequence.cc" "src/CMakeFiles/bufferdb.dir/profile/call_sequence.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/profile/call_sequence.cc.o.d"
+  "/root/repo/src/profile/footprint.cc" "src/CMakeFiles/bufferdb.dir/profile/footprint.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/profile/footprint.cc.o.d"
+  "/root/repo/src/sim/branch_predictor.cc" "src/CMakeFiles/bufferdb.dir/sim/branch_predictor.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/sim/branch_predictor.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/bufferdb.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/code_layout.cc" "src/CMakeFiles/bufferdb.dir/sim/code_layout.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/sim/code_layout.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/bufferdb.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/sim_cpu.cc" "src/CMakeFiles/bufferdb.dir/sim/sim_cpu.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/sim/sim_cpu.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/bufferdb.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/bufferdb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/bufferdb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/bufferdb.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/bufferdb.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/storage/tuple.cc.o.d"
+  "/root/repo/src/tpch/tbl_io.cc" "src/CMakeFiles/bufferdb.dir/tpch/tbl_io.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/tpch/tbl_io.cc.o.d"
+  "/root/repo/src/tpch/tpch_gen.cc" "src/CMakeFiles/bufferdb.dir/tpch/tpch_gen.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/tpch/tpch_gen.cc.o.d"
+  "/root/repo/src/tpch/tpch_schema.cc" "src/CMakeFiles/bufferdb.dir/tpch/tpch_schema.cc.o" "gcc" "src/CMakeFiles/bufferdb.dir/tpch/tpch_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

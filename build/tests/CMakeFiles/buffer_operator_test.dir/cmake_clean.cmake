@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_operator_test.dir/buffer_operator_test.cc.o"
+  "CMakeFiles/buffer_operator_test.dir/buffer_operator_test.cc.o.d"
+  "buffer_operator_test"
+  "buffer_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_sequence_test.dir/call_sequence_test.cc.o"
+  "CMakeFiles/call_sequence_test.dir/call_sequence_test.cc.o.d"
+  "call_sequence_test"
+  "call_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_layout_test.dir/code_layout_test.cc.o"
+  "CMakeFiles/code_layout_test.dir/code_layout_test.cc.o.d"
+  "code_layout_test"
+  "code_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

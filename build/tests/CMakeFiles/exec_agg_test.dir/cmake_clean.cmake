@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_agg_test.dir/exec_agg_test.cc.o"
+  "CMakeFiles/exec_agg_test.dir/exec_agg_test.cc.o.d"
+  "exec_agg_test"
+  "exec_agg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

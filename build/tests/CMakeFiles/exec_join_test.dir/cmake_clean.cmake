@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_join_test.dir/exec_join_test.cc.o"
+  "CMakeFiles/exec_join_test.dir/exec_join_test.cc.o.d"
+  "exec_join_test"
+  "exec_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

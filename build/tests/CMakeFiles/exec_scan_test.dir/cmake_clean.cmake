@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_scan_test.dir/exec_scan_test.cc.o"
+  "CMakeFiles/exec_scan_test.dir/exec_scan_test.cc.o.d"
+  "exec_scan_test"
+  "exec_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_sort_test.dir/exec_sort_test.cc.o"
+  "CMakeFiles/exec_sort_test.dir/exec_sort_test.cc.o.d"
+  "exec_sort_test"
+  "exec_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_refiner_test.dir/plan_refiner_test.cc.o"
+  "CMakeFiles/plan_refiner_test.dir/plan_refiner_test.cc.o.d"
+  "plan_refiner_test"
+  "plan_refiner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_refiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_calibration_test.dir/threshold_calibration_test.cc.o"
+  "CMakeFiles/threshold_calibration_test.dir/threshold_calibration_test.cc.o.d"
+  "threshold_calibration_test"
+  "threshold_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
