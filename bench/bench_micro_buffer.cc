@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/buffer_operator.h"
 #include "exec/aggregation.h"
@@ -14,9 +17,14 @@
 namespace bufferdb {
 namespace {
 
+// Set by --smoke (CI bench-bitrot check): shrink the table and cut
+// measurement time so the whole binary finishes in a couple of seconds.
+bool g_smoke = false;
+
 Table* SharedItems() {
   static Table* table =
-      profile::BuildSyntheticItems(100000, /*seed=*/99).release();
+      profile::BuildSyntheticItems(g_smoke ? 10000 : 100000, /*seed=*/99)
+          .release();
   return table;
 }
 
@@ -93,4 +101,22 @@ BENCHMARK(BM_CopyingBuffer);
 }  // namespace
 }  // namespace bufferdb
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a --smoke flag google-benchmark doesn't know:
+// strip it from argv and inject a tiny --benchmark_min_time instead.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      bufferdb::g_smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (bufferdb::g_smoke) args.push_back(min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -45,12 +45,25 @@ Catalog& SharedTpch(double scale_factor) {
   return *it->second;
 }
 
+namespace {
+bool g_smoke_mode = false;
+}  // namespace
+
+bool SmokeMode() { return g_smoke_mode; }
+
 double ScaleFactorFromArgs(int argc, char** argv) {
-  if (argc > 1) {
-    double sf = std::atof(argv[1]);
-    if (sf > 0) return sf;
+  double sf = kDefaultScaleFactor;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      g_smoke_mode = true;
+      continue;
+    }
+    double v = std::atof(arg.c_str());
+    if (v > 0) sf = v;
   }
-  return kDefaultScaleFactor;
+  if (g_smoke_mode && sf > kSmokeScaleFactor) sf = kSmokeScaleFactor;
+  return sf;
 }
 
 QueryRun RunQuery(Catalog& catalog, const std::string& sql,

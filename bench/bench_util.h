@@ -21,11 +21,26 @@ extern const char kQuery3[];  // lineitem x orders aggregate join.
 /// Default scale factor used by the benches; override with argv[1].
 constexpr double kDefaultScaleFactor = 0.02;
 
+/// Scale factor cap applied in smoke mode (see `--smoke` below).
+constexpr double kSmokeScaleFactor = 0.002;
+
 /// Loads (once per process) and returns the shared TPC-H catalog.
 Catalog& SharedTpch(double scale_factor);
 
-/// Parses argv[1] as a scale factor if present.
+/// Parses the bench command line: a positional scale factor (argv[1]) and
+/// the `--smoke` flag. Smoke mode is for CI: it caps the scale factor at
+/// kSmokeScaleFactor and tells benches (via SmokeMode) to cut their
+/// iteration counts, so a bench run finishes in seconds and only checks
+/// that the bench still executes, not that its numbers are stable.
 double ScaleFactorFromArgs(int argc, char** argv);
+
+/// True once ScaleFactorFromArgs has seen `--smoke`.
+bool SmokeMode();
+
+/// `normal` iterations usually, `smoke` in smoke mode.
+inline int SmokeIters(int normal, int smoke = 1) {
+  return SmokeMode() ? smoke : normal;
+}
 
 struct QueryRun {
   std::vector<std::vector<Value>> rows;

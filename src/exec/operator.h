@@ -22,6 +22,15 @@ namespace bufferdb {
 /// unit of work (one per input tuple consumed / output tuple produced) plus
 /// TouchData for the tuple bytes they access, which is how the simulated
 /// hardware counters observe the query.
+///
+/// Thread-safety: an ExecContext (and the SimCpu it points to) belongs to
+/// exactly ONE thread. Under parallel execution the ExchangeOperator gives
+/// every worker fragment its own ExecContext with `cpu == nullptr` (or a
+/// private per-fragment SimCpu when fragment simulation is enabled) —
+/// fragments must never Touch/ExecModule through the consumer's context.
+/// Simulated counters therefore only describe the whole query in
+/// single-threaded plans; in parallel plans they cover just the operators
+/// above the Exchange.
 struct ExecContext {
   sim::SimCpu* cpu = nullptr;
   Arena arena;

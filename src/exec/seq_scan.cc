@@ -12,12 +12,21 @@ SeqScanOperator::SeqScanOperator(Table* table, ExprPtr predicate)
 Status SeqScanOperator::Open(ExecContext* ctx) {
   ctx_ = ctx;
   pos_ = 0;
+  // Morsel mode starts with an empty range so the first Next() claims one.
+  limit_ = morsels_ != nullptr ? 0 : table_->num_rows();
   return Status::OK();
 }
 
 const uint8_t* SeqScanOperator::Next() {
   const Schema& schema = table_->schema();
-  while (pos_ < table_->num_rows()) {
+  for (;;) {
+    if (pos_ >= limit_) {
+      parallel::Morsel morsel;
+      if (morsels_ == nullptr || !morsels_->TryNext(&morsel)) break;
+      pos_ = morsel.begin;
+      limit_ = morsel.end;
+      continue;
+    }
     // One module execution per row considered: the scan loop body runs for
     // every input row, not just for qualifying ones.
     ctx_->ExecModule(module_id(), hot_funcs_);
@@ -32,16 +41,21 @@ const uint8_t* SeqScanOperator::Next() {
   return nullptr;
 }
 
-void SeqScanOperator::Close() { pos_ = 0; }
+void SeqScanOperator::Close() {
+  pos_ = 0;
+  limit_ = 0;
+}
 
 Status SeqScanOperator::Rescan() {
   pos_ = 0;
+  limit_ = morsels_ != nullptr ? 0 : table_->num_rows();
   return Status::OK();
 }
 
 std::string SeqScanOperator::label() const {
   std::string out = "Scan(" + table_->name();
   if (predicate_ != nullptr) out += ", " + predicate_->ToString();
+  if (morsels_ != nullptr) out += ", morsel";
   out += ")";
   return out;
 }

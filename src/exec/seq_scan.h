@@ -6,6 +6,7 @@
 
 #include "exec/operator.h"
 #include "expr/expression.h"
+#include "parallel/morsel.h"
 #include "storage/table.h"
 
 namespace bufferdb {
@@ -13,6 +14,11 @@ namespace bufferdb {
 /// Full-table scan with an optional predicate evaluated per row (the paper's
 /// "Scan with predicates" vs "Scan without predicates" modules, Table 2).
 /// Output schema is the table schema; rows are returned in place (no copy).
+///
+/// In *morsel mode* (BindMorselCursor) the scan no longer walks the whole
+/// table: it repeatedly claims fixed-size row ranges from a shared
+/// parallel::MorselCursor and scans only those, so N scan clones bound to
+/// one cursor partition the table dynamically across worker threads.
 class SeqScanOperator final : public Operator {
  public:
   /// `predicate` may be null. It must be bound to the table schema.
@@ -33,10 +39,18 @@ class SeqScanOperator final : public Operator {
   const Expression* predicate() const { return predicate_.get(); }
   const Table* table() const { return table_; }
 
+  /// Switches to morsel mode. `cursor` must range over this table's rows
+  /// and outlive the operator; the caller (ExchangeOperator) resets it
+  /// between executions. Pass null to return to full-table mode.
+  void BindMorselCursor(parallel::MorselCursor* cursor) { morsels_ = cursor; }
+  bool morsel_mode() const { return morsels_ != nullptr; }
+
  private:
   Table* table_;
   ExprPtr predicate_;
+  parallel::MorselCursor* morsels_ = nullptr;
   size_t pos_ = 0;
+  size_t limit_ = 0;  // End of the current morsel (or of the table).
 };
 
 }  // namespace bufferdb

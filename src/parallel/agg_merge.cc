@@ -1,0 +1,192 @@
+#include "parallel/agg_merge.h"
+
+#include "storage/tuple.h"
+
+namespace bufferdb::parallel {
+
+namespace {
+
+ExprPtr CloneOrNull(const ExprPtr& expr) {
+  return expr != nullptr ? expr->Clone() : nullptr;
+}
+
+// Number of partial columns spec `func` expands to (layout contract shared
+// between MakePartialAggSpecs and the merge operator).
+size_t PartialWidth(AggFunc func) {
+  return func == AggFunc::kAvg ? 2 : 1;
+}
+
+}  // namespace
+
+std::vector<AggSpec> MakePartialAggSpecs(const std::vector<AggSpec>& specs) {
+  std::vector<AggSpec> partial;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const AggSpec& spec = specs[i];
+    std::string prefix = "p" + std::to_string(i) + "_";
+    switch (spec.func) {
+      case AggFunc::kCountStar:
+        partial.push_back(AggSpec{AggFunc::kCountStar, nullptr,
+                                  prefix + "count"});
+        break;
+      case AggFunc::kCount:
+        partial.push_back(AggSpec{AggFunc::kCount, CloneOrNull(spec.arg),
+                                  prefix + "count"});
+        break;
+      case AggFunc::kSum:
+        partial.push_back(AggSpec{AggFunc::kSum, CloneOrNull(spec.arg),
+                                  prefix + "sum"});
+        break;
+      case AggFunc::kAvg:
+        partial.push_back(AggSpec{AggFunc::kCount, CloneOrNull(spec.arg),
+                                  prefix + "count"});
+        partial.push_back(AggSpec{AggFunc::kSum, CloneOrNull(spec.arg),
+                                  prefix + "sum"});
+        break;
+      case AggFunc::kMin:
+        partial.push_back(AggSpec{AggFunc::kMin, CloneOrNull(spec.arg),
+                                  prefix + "min"});
+        break;
+      case AggFunc::kMax:
+        partial.push_back(AggSpec{AggFunc::kMax, CloneOrNull(spec.arg),
+                                  prefix + "max"});
+        break;
+    }
+  }
+  return partial;
+}
+
+AggregateMergeOperator::AggregateMergeOperator(OperatorPtr child,
+                                               std::vector<AggSpec> specs)
+    : specs_(std::move(specs)) {
+  AddChild(std::move(child));
+  InitHotFuncs(module_id());
+  std::vector<Column> cols;
+  size_t col = 0;
+  for (const AggSpec& spec : specs_) {
+    AppendAggFuncs(spec.func, &hot_funcs_);
+    first_col_.push_back(col);
+    col += PartialWidth(spec.func);
+    DataType arg_type =
+        spec.arg != nullptr ? spec.arg->result_type() : DataType::kInt64;
+    cols.push_back(
+        Column{spec.output_name, AggOutputType(spec.func, arg_type)});
+  }
+  output_schema_ = Schema(std::move(cols));
+}
+
+Status AggregateMergeOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  done_ = false;
+  return child(0)->Open(ctx);
+}
+
+const uint8_t* AggregateMergeOperator::Next() {
+  if (done_) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    return nullptr;
+  }
+  // Running merge state per final aggregate.
+  struct MergeState {
+    int64_t count = 0;
+    int64_t int_sum = 0;
+    double double_sum = 0;
+    bool any = false;   // Saw at least one non-NULL partial value.
+    Value extremum;
+  };
+  std::vector<MergeState> states(specs_.size());
+
+  const Schema& in_schema = child(0)->output_schema();
+  while (const uint8_t* row = child(0)->Next()) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    TupleView view(row, &in_schema);
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      MergeState& state = states[i];
+      size_t col = first_col_[i];
+      switch (specs_[i].func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          state.count += view.GetValue(col).int64_value();
+          break;
+        case AggFunc::kAvg:
+          state.count += view.GetValue(col).int64_value();
+          ++col;  // Fall through to merge the sum column.
+          [[fallthrough]];
+        case AggFunc::kSum: {
+          Value v = view.GetValue(col);
+          if (v.is_null()) break;
+          state.any = true;
+          if (v.type() == DataType::kDouble) {
+            state.double_sum += v.double_value();
+          } else {
+            state.int_sum += v.int64_value();
+            state.double_sum += static_cast<double>(v.int64_value());
+          }
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          Value v = view.GetValue(col);
+          if (v.is_null()) break;
+          if (!state.any ||
+              (specs_[i].func == AggFunc::kMin
+                   ? Value::Compare(v, state.extremum) < 0
+                   : Value::Compare(v, state.extremum) > 0)) {
+            state.extremum = v;
+          }
+          state.any = true;
+          break;
+        }
+      }
+    }
+  }
+  ctx_->ExecModule(module_id(), hot_funcs_);
+
+  TupleBuilder builder(&output_schema_);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const MergeState& state = states[i];
+    DataType out_type = output_schema_.column(i).type;
+    Value v;
+    switch (specs_[i].func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        v = Value::Int64(state.count);
+        break;
+      case AggFunc::kSum:
+        v = !state.any ? Value::Null(out_type)
+            : out_type == DataType::kDouble
+                ? Value::Double(state.double_sum)
+                : Value::Int64(state.int_sum);
+        break;
+      case AggFunc::kAvg:
+        v = state.count == 0
+                ? Value::Null(DataType::kDouble)
+                : Value::Double(state.double_sum /
+                                static_cast<double>(state.count));
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        v = state.any ? state.extremum : Value::Null(out_type);
+        break;
+    }
+    builder.Set(i, v);
+  }
+  const uint8_t* out = builder.Finish(&ctx_->arena);
+  ctx_->Touch(out, TupleView(out, &output_schema_).size_bytes());
+  done_ = true;
+  return out;
+}
+
+void AggregateMergeOperator::Close() { child(0)->Close(); }
+
+std::string AggregateMergeOperator::label() const {
+  std::string out = "AggMerge(";
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AggFuncName(specs_[i].func);
+    if (specs_[i].arg != nullptr) out += "(" + specs_[i].arg->ToString() + ")";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace bufferdb::parallel

@@ -1,0 +1,158 @@
+#include "parallel/exchange.h"
+
+namespace bufferdb::parallel {
+
+ExchangeOperator::ExchangeOperator(std::vector<OperatorPtr> fragments,
+                                   std::unique_ptr<MorselCursor> cursor,
+                                   ThreadPool* pool, size_t batch_rows,
+                                   size_t queue_batches)
+    : cursor_(std::move(cursor)),
+      pool_(pool != nullptr ? pool : &ThreadPool::Global()),
+      batch_rows_(batch_rows == 0 ? kDefaultBatchRows : batch_rows),
+      queue_batches_(queue_batches == 0 ? kDefaultQueueBatches
+                                        : queue_batches) {
+  for (OperatorPtr& fragment : fragments) AddChild(std::move(fragment));
+  InitHotFuncs(sim::ModuleId::kBuffer);
+  // Group boundary for the plan refiner: buffers go *inside* the fragments
+  // (per worker), never above the Exchange or merged with its parents.
+  set_excluded_from_buffering(true);
+}
+
+ExchangeOperator::~ExchangeOperator() {
+  if (queue_ != nullptr) queue_->Cancel();
+  JoinWorkers();
+}
+
+void ExchangeOperator::EnableFragmentSimulation(const sim::SimConfig& config) {
+  simulate_fragments_ = true;
+  fragment_sim_config_ = config;
+}
+
+Status ExchangeOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  if (queue_ != nullptr) queue_->Cancel();
+  JoinWorkers();
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    error_ = Status::OK();
+  }
+
+  // Fresh per-fragment contexts; the previous run's arenas are released
+  // here, not in Close (drained row pointers stay valid until re-Open).
+  fragment_ctxs_.clear();
+  fragment_cpus_.clear();
+  current_.clear();
+  current_pos_ = 0;
+  if (cursor_ != nullptr) cursor_->Reset();
+  queue_ = std::make_unique<TupleQueue>(queue_batches_);
+
+  size_t n = num_children();
+  for (size_t i = 0; i < n; ++i) {
+    auto fctx = std::make_unique<ExecContext>();
+    if (simulate_fragments_) {
+      fragment_cpus_.push_back(
+          std::make_unique<sim::SimCpu>(fragment_sim_config_));
+      fctx->cpu = fragment_cpus_.back().get();
+    }
+    fragment_ctxs_.push_back(std::move(fctx));
+  }
+  // Register every producer before the first task runs, so the consumer
+  // cannot observe producers_ == 0 while workers are still being launched.
+  for (size_t i = 0; i < n; ++i) queue_->AddProducer();
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(pool_->Submit([this, i] { RunFragment(i); }));
+  }
+  return Status::OK();
+}
+
+void ExchangeOperator::RunFragment(size_t index) {
+  TupleQueue* queue = queue_.get();
+  Operator* fragment = child(index);
+  bool opened = false;
+  try {
+    Status st = fragment->Open(fragment_ctxs_[index].get());
+    if (!st.ok()) {
+      RecordError(std::move(st));
+    } else {
+      opened = true;
+      bool draining = true;
+      while (draining) {
+        TupleQueue::Batch batch;
+        batch.reserve(batch_rows_);
+        while (batch.size() < batch_rows_) {
+          const uint8_t* row = fragment->Next();
+          if (row == nullptr) {
+            draining = false;
+            break;
+          }
+          batch.push_back(row);
+        }
+        if (batch.empty()) break;
+        if (!queue->Push(std::move(batch))) break;  // Consumer went away.
+      }
+    }
+  } catch (const std::exception& e) {
+    RecordError(Status::Internal(std::string("worker fragment threw: ") +
+                                 e.what()));
+  } catch (...) {
+    RecordError(Status::Internal("worker fragment threw"));
+  }
+  if (opened) {
+    try {
+      fragment->Close();
+    } catch (...) {
+      RecordError(Status::Internal("worker fragment Close threw"));
+    }
+  }
+  queue->ProducerDone();
+}
+
+const uint8_t* ExchangeOperator::Next() {
+  while (current_pos_ >= current_.size()) {
+    current_.clear();
+    current_pos_ = 0;
+    if (queue_ == nullptr || !queue_->Pop(&current_)) {
+      ctx_->ExecModule(module_id(), hot_funcs_);  // End-of-stream bookkeeping.
+      return nullptr;
+    }
+    // One merge-module execution per batch: the consumer-side cost of the
+    // Exchange is amortized across the batch, like a buffer refill.
+    ctx_->ExecModule(module_id(), hot_funcs_);
+  }
+  return current_[current_pos_++];
+}
+
+void ExchangeOperator::Close() {
+  if (queue_ != nullptr) queue_->Cancel();
+  JoinWorkers();
+  current_.clear();
+  current_pos_ = 0;
+}
+
+Status ExchangeOperator::error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return error_;
+}
+
+void ExchangeOperator::RecordError(Status status) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (error_.ok()) error_ = std::move(status);
+}
+
+void ExchangeOperator::JoinWorkers() {
+  for (std::future<void>& worker : workers_) {
+    if (worker.valid()) worker.wait();
+  }
+  workers_.clear();
+}
+
+std::string ExchangeOperator::label() const {
+  std::string out = "Exchange(degree=" + std::to_string(num_children());
+  if (cursor_ != nullptr) {
+    out += ", morsel=" + std::to_string(cursor_->morsel_rows());
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace bufferdb::parallel

@@ -1,0 +1,56 @@
+#ifndef BUFFERDB_PARALLEL_THREAD_POOL_H_
+#define BUFFERDB_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bufferdb::parallel {
+
+/// Fixed-size worker pool shared by every ExchangeOperator in the process
+/// (morsel-driven scheduling wants one pool sized to the hardware, not one
+/// thread spawn per query; see "Morsel-Driven Parallelism", Leis et al.).
+///
+/// Tasks are arbitrary callables; exceptions thrown by a task are captured
+/// in the future returned by Submit. The destructor drains nothing: queued
+/// tasks that have not started are still executed before the threads join,
+/// so submitted work is never silently dropped.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future that resolves when it finishes (or
+  /// rethrows the exception it raised).
+  std::future<void> Submit(std::function<void()> fn);
+
+  size_t num_threads() const { return threads_.size(); }
+  /// Tasks submitted over the pool's lifetime.
+  uint64_t tasks_run() const;
+
+  /// Process-wide pool sized to the hardware, created on first use. Query
+  /// execution defaults to this instance so concurrent queries share one
+  /// set of workers.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  uint64_t tasks_run_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bufferdb::parallel
+
+#endif  // BUFFERDB_PARALLEL_THREAD_POOL_H_

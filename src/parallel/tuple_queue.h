@@ -1,0 +1,98 @@
+#ifndef BUFFERDB_PARALLEL_TUPLE_QUEUE_H_
+#define BUFFERDB_PARALLEL_TUPLE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace bufferdb::parallel {
+
+/// Bounded multi-producer single-consumer queue of tuple-pointer batches —
+/// the merge side of an ExchangeOperator.
+///
+/// Rows travel as batches (vectors of row pointers) so producers take the
+/// lock once per batch, not once per tuple; this is the same
+/// "amortize per-tuple overhead" argument the paper makes for the buffer
+/// operator, applied to the thread boundary. The bound provides
+/// back-pressure: workers stall instead of materializing an unbounded
+/// result when the consumer is slow.
+class TupleQueue {
+ public:
+  using Batch = std::vector<const uint8_t*>;
+
+  explicit TupleQueue(size_t max_batches) : max_batches_(max_batches) {}
+
+  TupleQueue(const TupleQueue&) = delete;
+  TupleQueue& operator=(const TupleQueue&) = delete;
+
+  /// Registers a producer; every producer must eventually call
+  /// ProducerDone exactly once.
+  void AddProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++producers_;
+  }
+
+  void ProducerDone() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --producers_;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Blocks while the queue is full. Returns false if the queue was
+  /// cancelled (consumer abandoned the query) — the producer should stop.
+  bool Push(Batch batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return cancelled_ || queue_.size() < max_batches_;
+    });
+    if (cancelled_) return false;
+    queue_.push_back(std::move(batch));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a batch is available or every producer is done. Returns
+  /// false when the stream is exhausted (or cancelled).
+  bool Pop(Batch* batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] {
+      return cancelled_ || !queue_.empty() || producers_ == 0;
+    });
+    if (cancelled_ || queue_.empty()) return false;
+    *batch = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Unblocks every producer and consumer; subsequent pushes/pops fail.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t max_batches() const { return max_batches_; }
+
+ private:
+  const size_t max_batches_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Batch> queue_;
+  size_t producers_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace bufferdb::parallel
+
+#endif  // BUFFERDB_PARALLEL_TUPLE_QUEUE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/buffered_index_join.h"
+#include "exec/aggregation.h"
 #include "exec/distinct.h"
 #include "exec/filter.h"
 #include "exec/hash_aggregation.h"
@@ -15,6 +16,9 @@
 #include "exec/project.h"
 #include "exec/seq_scan.h"
 #include "exec/sort.h"
+#include "parallel/agg_merge.h"
+#include "parallel/exchange.h"
+#include "parallel/morsel.h"
 #include "plan/cardinality.h"
 
 namespace bufferdb {
@@ -252,6 +256,94 @@ Result<OperatorPtr> PhysicalPlanner::PlanJoins(const LogicalQuery& query) {
   return plan;
 }
 
+Result<OperatorPtr> PhysicalPlanner::BuildInput(const LogicalQuery& query) {
+  if (query.tables.size() == 1) {
+    if (!query.cross_predicates.empty()) {
+      return Status::Internal("cross predicate on single-table query");
+    }
+    return MakeScan(query.tables[0], query.filters[0]);
+  }
+  return PlanJoins(query);
+}
+
+Result<PhysicalPlanner::ParallelInput> PhysicalPlanner::BuildParallelInput(
+    const LogicalQuery& query) {
+  size_t degree = options_.parallel_degree;
+  // Scalar aggregation (no group keys) is computed per fragment and merged;
+  // pure projections run per fragment too. Grouped aggregation stays above
+  // the Exchange, consuming the merged input stream.
+  bool scalar_agg = query.has_aggregates;
+  for (const OutputItem& item : query.items) {
+    if (!item.is_aggregate) scalar_agg = false;
+  }
+  std::vector<AggSpec> final_specs;
+  if (scalar_agg) {
+    for (const OutputItem& item : query.items) {
+      final_specs.push_back(AggSpec{
+          item.agg, item.expr != nullptr ? item.expr->Clone() : nullptr,
+          item.name});
+    }
+  }
+
+  ParallelInput out;
+  std::vector<OperatorPtr> fragments;
+  fragments.reserve(degree);
+  for (size_t w = 0; w < degree; ++w) {
+    BUFFERDB_ASSIGN_OR_RETURN(frag, BuildInput(query));
+    if (w == 0) out.input_rows = frag->estimated_rows();
+    if (scalar_agg) {
+      auto agg = std::make_unique<AggregationOperator>(
+          std::move(frag), parallel::MakePartialAggSpecs(final_specs));
+      agg->set_estimated_rows(1.0);
+      frag = std::move(agg);
+    } else if (!query.has_aggregates) {
+      std::vector<ProjectItem> items;
+      for (const OutputItem& item : query.items) {
+        items.push_back(ProjectItem{item.expr->Clone(), item.name});
+      }
+      auto proj = std::make_unique<ProjectOperator>(std::move(frag),
+                                                    std::move(items));
+      proj->set_estimated_rows(out.input_rows);
+      frag = std::move(proj);
+    }
+    fragments.push_back(std::move(frag));
+  }
+
+  // All fragments share one morsel cursor over the driving (leftmost) table
+  // scan; everything else in a fragment (hash builds, index lookups, inner
+  // scans) runs privately per worker.
+  auto cursor = std::make_unique<parallel::MorselCursor>(
+      query.tables[0]->num_rows(),
+      options_.morsel_rows != 0 ? options_.morsel_rows
+                                : parallel::MorselCursor::kDefaultMorselRows);
+  for (OperatorPtr& frag : fragments) {
+    Operator* op = frag.get();
+    while (op->num_children() > 0) op = op->child(0);
+    auto* scan = dynamic_cast<SeqScanOperator*>(op);
+    if (scan == nullptr) {
+      return Status::Internal(
+          "parallel plan: driving operator is not a sequential scan");
+    }
+    scan->BindMorselCursor(cursor.get());
+  }
+
+  auto exchange = std::make_unique<parallel::ExchangeOperator>(
+      std::move(fragments), std::move(cursor), options_.thread_pool);
+  if (scalar_agg) {
+    exchange->set_estimated_rows(static_cast<double>(degree));
+    auto merge = std::make_unique<parallel::AggregateMergeOperator>(
+        std::move(exchange), std::move(final_specs));
+    merge->set_estimated_rows(1.0);
+    out.plan = std::move(merge);
+    out.aggregation_done = true;
+  } else {
+    exchange->set_estimated_rows(out.input_rows);
+    out.plan = std::move(exchange);
+    out.projection_done = !query.has_aggregates;
+  }
+  return out;
+}
+
 Result<OperatorPtr> PhysicalPlanner::CreatePlan(const LogicalQuery& query,
                                                 RefinementReport* report) {
   if (query.tables.empty()) {
@@ -260,20 +352,24 @@ Result<OperatorPtr> PhysicalPlanner::CreatePlan(const LogicalQuery& query,
 
   OperatorPtr plan;
   double input_rows;
-  if (query.tables.size() == 1) {
-    plan = MakeScan(query.tables[0], query.filters[0]);
-    input_rows = plan->estimated_rows();
-    if (!query.cross_predicates.empty()) {
-      return Status::Internal("cross predicate on single-table query");
-    }
+  bool aggregation_done = false;
+  bool projection_done = false;
+  if (options_.parallel_degree > 1) {
+    BUFFERDB_ASSIGN_OR_RETURN(par, BuildParallelInput(query));
+    plan = std::move(par.plan);
+    input_rows = par.input_rows;
+    aggregation_done = par.aggregation_done;
+    projection_done = par.projection_done;
   } else {
-    BUFFERDB_ASSIGN_OR_RETURN(join_plan, PlanJoins(query));
-    plan = std::move(join_plan);
+    BUFFERDB_ASSIGN_OR_RETURN(input, BuildInput(query));
+    plan = std::move(input);
     input_rows = plan->estimated_rows();
   }
 
-  // Aggregation or projection.
-  if (query.has_aggregates) {
+  // Aggregation or projection (unless already pushed into the fragments).
+  if (aggregation_done || projection_done) {
+    // Nothing to add on top.
+  } else if (query.has_aggregates) {
     std::vector<GroupKeyExpr> groups;
     std::vector<AggSpec> specs;
     for (const OutputItem& item : query.items) {

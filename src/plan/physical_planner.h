@@ -10,6 +10,10 @@
 
 namespace bufferdb {
 
+namespace parallel {
+class ThreadPool;
+}
+
 enum class JoinStrategy : uint8_t {
   kAuto,          // Index nested loop when the right side has a unique
                   // index on the join column, hash join otherwise.
@@ -26,9 +30,22 @@ const char* JoinStrategyName(JoinStrategy strategy);
 
 struct PlannerOptions {
   JoinStrategy join_strategy = JoinStrategy::kAuto;
-  /// Run the §6.2 plan refinement pass on the produced plan.
+  /// Run the §6.2 plan refinement pass on the produced plan. Composes with
+  /// parallel_degree: the refiner inserts buffer operators *inside* each
+  /// worker fragment (the Exchange is a group boundary), so every worker
+  /// keeps the paper's instruction-cache locality independently.
   bool refine = false;
   RefinementOptions refinement;
+  /// Intra-query parallelism: number of cloned pipeline fragments run under
+  /// an Exchange operator by pool workers. 1 (the default) plans serially.
+  /// The driving table scan is partitioned at morsel granularity; scalar
+  /// aggregates are computed per fragment and combined by an AggregateMerge
+  /// above the Exchange.
+  size_t parallel_degree = 1;
+  /// Rows per morsel of the partitioned driving scan; 0 = library default.
+  size_t morsel_rows = 0;
+  /// Worker pool for Exchange operators; null = the process-global pool.
+  parallel::ThreadPool* thread_pool = nullptr;
 };
 
 /// Translates a bound LogicalQuery into an executable operator tree.
@@ -51,10 +68,24 @@ class PhysicalPlanner {
                                  RefinementReport* report = nullptr);
 
  private:
+  /// Everything below aggregation/projection: scans, filters, joins and
+  /// leftover cross-table predicates.
+  Result<OperatorPtr> BuildInput(const LogicalQuery& query);
   Result<OperatorPtr> PlanJoins(const LogicalQuery& query);
   Result<OperatorPtr> PlanJoinStep(const LogicalQuery& query, OperatorPtr plan,
                                    size_t k, int outer_key_col,
                                    int inner_key_col);
+
+  /// The parallel_degree > 1 path: builds N input fragments sharing one
+  /// morsel cursor, merges them under an Exchange, and (for scalar
+  /// aggregates / pure projections) pushes that work into the fragments.
+  struct ParallelInput {
+    OperatorPtr plan;
+    double input_rows = 0;
+    bool aggregation_done = false;
+    bool projection_done = false;
+  };
+  Result<ParallelInput> BuildParallelInput(const LogicalQuery& query);
 
   const Catalog* catalog_;
   PlannerOptions options_;

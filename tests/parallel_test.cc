@@ -1,0 +1,226 @@
+// Unit tests for the parallel building blocks: ThreadPool (startup,
+// shutdown, exception propagation), MorselCursor (no lost or duplicated
+// morsels under contention) and the bounded MPSC TupleQueue.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/morsel.h"
+#include "parallel/thread_pool.h"
+#include "parallel/tuple_queue.h"
+
+namespace bufferdb::parallel {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.tasks_run(), 100u);
+}
+
+TEST(ThreadPoolTest, UsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::atomic<int> started{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.Submit([&] {
+      ++started;
+      // Hold the task until all four are in flight, forcing distinct
+      // threads to pick them up.
+      while (started.load() < 4) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] {});
+  auto bad = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto after = pool.Submit([] {});
+  EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPoolTest, DestructorRunsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }  // Destructor joins after draining the queue.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, RepeatedStartupShutdown) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    auto f = pool.Submit([] {});
+    f.get();
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 2u);
+}
+
+TEST(MorselCursorTest, SingleThreadCoversTableExactly) {
+  MorselCursor cursor(10001, 100);
+  size_t covered = 0;
+  size_t expected_begin = 0;
+  Morsel m;
+  while (cursor.TryNext(&m)) {
+    EXPECT_EQ(m.begin, expected_begin);
+    EXPECT_GT(m.end, m.begin);
+    EXPECT_LE(m.end - m.begin, 100u);
+    covered += m.end - m.begin;
+    expected_begin = m.end;
+  }
+  EXPECT_EQ(covered, 10001u);
+  EXPECT_FALSE(cursor.TryNext(&m));  // Stays exhausted.
+}
+
+TEST(MorselCursorTest, EmptyTable) {
+  MorselCursor cursor(0, 100);
+  Morsel m;
+  EXPECT_FALSE(cursor.TryNext(&m));
+}
+
+TEST(MorselCursorTest, ResetRewinds) {
+  MorselCursor cursor(100, 64);
+  Morsel m;
+  while (cursor.TryNext(&m)) {
+  }
+  cursor.Reset();
+  ASSERT_TRUE(cursor.TryNext(&m));
+  EXPECT_EQ(m.begin, 0u);
+}
+
+TEST(MorselCursorTest, NoLostOrDuplicatedMorselsUnderContention) {
+  constexpr size_t kTotal = 1 << 20;
+  constexpr size_t kMorsel = 64;
+  constexpr int kThreads = 8;
+  MorselCursor cursor(kTotal, kMorsel);
+
+  std::vector<std::vector<Morsel>> claimed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cursor, &claimed, t] {
+      Morsel m;
+      while (cursor.TryNext(&m)) claimed[static_cast<size_t>(t)].push_back(m);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<Morsel> all;
+  for (const auto& v : claimed) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end(),
+            [](const Morsel& a, const Morsel& b) { return a.begin < b.begin; });
+  size_t expected_begin = 0;
+  for (const Morsel& m : all) {
+    ASSERT_EQ(m.begin, expected_begin);  // No gap, no overlap.
+    expected_begin = m.end;
+  }
+  EXPECT_EQ(expected_begin, kTotal);
+}
+
+TEST(TupleQueueTest, FifoWithinSingleProducer) {
+  TupleQueue queue(4);
+  queue.AddProducer();
+  uint8_t data[3];
+  queue.Push({&data[0]});
+  queue.Push({&data[1], &data[2]});
+  queue.ProducerDone();
+
+  TupleQueue::Batch batch;
+  ASSERT_TRUE(queue.Pop(&batch));
+  EXPECT_EQ(batch, TupleQueue::Batch{&data[0]});
+  ASSERT_TRUE(queue.Pop(&batch));
+  EXPECT_EQ(batch, (TupleQueue::Batch{&data[1], &data[2]}));
+  EXPECT_FALSE(queue.Pop(&batch));  // Drained and no producers left.
+}
+
+TEST(TupleQueueTest, PopReturnsFalseWhenNoProducersRegistered) {
+  TupleQueue queue(4);
+  TupleQueue::Batch batch;
+  EXPECT_FALSE(queue.Pop(&batch));
+}
+
+TEST(TupleQueueTest, BoundAppliesBackpressureAndCancelUnblocks) {
+  TupleQueue queue(1);
+  queue.AddProducer();
+  uint8_t data[1];
+  ASSERT_TRUE(queue.Push({&data[0]}));  // Queue now full.
+
+  std::atomic<bool> blocked_push_returned{false};
+  std::atomic<bool> blocked_push_result{true};
+  std::thread producer([&] {
+    blocked_push_result = queue.Push({&data[0]});  // Blocks: queue is full.
+    blocked_push_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(blocked_push_returned.load());
+
+  queue.Cancel();
+  producer.join();
+  EXPECT_TRUE(blocked_push_returned.load());
+  EXPECT_FALSE(blocked_push_result.load());  // Cancelled push reports failure.
+
+  TupleQueue::Batch batch;
+  EXPECT_FALSE(queue.Pop(&batch));  // Pops fail after cancel too.
+}
+
+TEST(TupleQueueTest, ManyProducersAllRowsArrive) {
+  constexpr int kProducers = 8;
+  constexpr int kBatchesEach = 100;
+  TupleQueue queue(4);
+  for (int p = 0; p < kProducers; ++p) queue.AddProducer();
+
+  static uint8_t cell;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue] {
+      for (int i = 0; i < kBatchesEach; ++i) {
+        if (!queue.Push({&cell, &cell})) break;
+      }
+      queue.ProducerDone();
+    });
+  }
+  size_t rows = 0;
+  TupleQueue::Batch batch;
+  while (queue.Pop(&batch)) rows += batch.size();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rows, static_cast<size_t>(kProducers) * kBatchesEach * 2);
+}
+
+}  // namespace
+}  // namespace bufferdb::parallel
