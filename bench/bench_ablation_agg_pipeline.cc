@@ -73,7 +73,9 @@ double Run(OperatorPtr plan, bool refine, const char* name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("ablation_agg_pipeline", sf);
+  Catalog& catalog = SharedTpch(sf);
   Table* lineitem = catalog.GetTable("lineitem");
   const Schema& s = lineitem->schema();
 

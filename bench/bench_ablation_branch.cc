@@ -11,7 +11,9 @@ using namespace bufferdb::bench;  // NOLINT
 using bufferdb::sim::PredictorKind;
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("ablation_branch", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   std::printf("Ablation: branch predictor model (Query 1)\n\n");
   std::printf("%-10s %16s %16s %12s\n", "predictor", "mispred orig",
               "mispred buffered", "reduction");

@@ -58,7 +58,9 @@ sim::CycleBreakdown RunQuery1Manually(Catalog& catalog, bool buffered,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("ablation_copy", sf);
+  Catalog& catalog = SharedTpch(sf);
   std::printf("Ablation: pointer vs copying buffer (Query 1 template)\n\n");
   auto original = RunQuery1Manually(catalog, false, false);
   auto pointer = RunQuery1Manually(catalog, true, false);

@@ -10,7 +10,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("ablation_groups", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   std::printf("Ablation: group merging vs buffer-everywhere\n\n");
   std::printf("%-10s %14s %16s %8s %18s %8s\n", "query", "original(s)",
               "merged-groups(s)", "bufs", "buffer-everywhere", "bufs");

@@ -10,7 +10,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("ablation_prefetch", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   std::printf("Ablation: hardware prefetch on/off (Query 1, buffered)\n\n");
   std::printf("%-10s %16s %16s %16s %16s\n", "size", "L2 miss (pf on)",
               "sec (pf on)", "L2 miss (pf off)", "sec (pf off)");

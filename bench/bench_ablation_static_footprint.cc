@@ -10,7 +10,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("ablation_static_footprint", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   std::printf("Ablation: dynamic vs static footprint estimates (§6.1)\n\n");
   std::printf("%-10s %14s %4s %16s %4s %18s\n", "query", "dynamic(s)",
               "bufs", "static-est(s)", "bufs", "delta static/dyn");

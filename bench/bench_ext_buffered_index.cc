@@ -36,7 +36,9 @@ std::vector<AggSpec> Query3Aggs(const Schema& joined) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("ext_buffered_index", sf);
+  Catalog& catalog = SharedTpch(sf);
 
   // Baselines via the SQL path.
   RunOptions nlj;

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_util.h"
 #include "core/buffer_operator.h"
 #include "exec/aggregation.h"
 #include "exec/seq_scan.h"
@@ -40,7 +41,9 @@ void Run(Table* table, size_t buffer_size, const char* title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bufferdb::bench::PrintJsonHeader(
+      "fig01_pattern", bufferdb::bench::ScaleFactorFromArgs(argc, argv));
   std::printf("Figure 1: operator execution sequence (30-tuple input)\n\n");
   auto table = profile::BuildSyntheticItems(30, /*seed=*/3);
   Run(table.get(), 0, "(a) original (demand-pull, one tuple per call):");

@@ -8,7 +8,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("fig04_query1_breakdown", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   QueryRun run = RunQuery(catalog, kQuery1);
   std::printf("Figure 4: Query 1, conventional demand-pull plan\n\n");
   std::printf("plan:\n%s\n", run.plan_text.c_str());

@@ -11,7 +11,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("fig09_query2", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
 
   QueryRun original = RunQuery(catalog, kQuery2);
 

@@ -9,7 +9,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("fig10_query1", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   QueryRun original = RunQuery(catalog, kQuery1);
   RunOptions options;
   options.refine = true;

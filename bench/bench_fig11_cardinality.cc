@@ -5,9 +5,12 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/threshold_calibration.h"
 
 int main(int argc, char** argv) {
+  bufferdb::bench::PrintJsonHeader(
+      "fig11_cardinality", bufferdb::bench::ScaleFactorFromArgs(argc, argv));
   size_t rows = 20000;
   if (argc > 1) rows = static_cast<size_t>(atof(argv[1]) * 1000000);
   if (rows < 8192) rows = 20000;

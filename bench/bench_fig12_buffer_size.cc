@@ -9,7 +9,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("fig12_buffer_size", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   QueryRun original = RunQuery(catalog, kQuery1);
   std::printf("Figure 12: varied buffer sizes (Query 1)\n\n");
   std::printf("%-12s %14s\n", "buffer size", "elapsed (sim s)");

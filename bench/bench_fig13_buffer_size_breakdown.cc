@@ -10,7 +10,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("fig13_buffer_size_breakdown", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   std::printf("Figure 13: breakdown vs buffer size (Query 1)\n\n");
   std::printf("%-10s %12s %12s %12s %12s %12s\n", "size", "trace-miss",
               "L2-miss", "br-mispred", "other", "total Mcyc");

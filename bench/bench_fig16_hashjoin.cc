@@ -10,7 +10,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("fig16_hashjoin", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   RunOptions base;
   base.join_strategy = bufferdb::JoinStrategy::kHashJoin;
   QueryRun original = RunQuery(catalog, kQuery3, base);

@@ -9,7 +9,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("fig17_mergejoin", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   RunOptions base;
   base.join_strategy = bufferdb::JoinStrategy::kMergeJoin;
   QueryRun original = RunQuery(catalog, kQuery3, base);

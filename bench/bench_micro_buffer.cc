@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/buffer_operator.h"
 #include "exec/aggregation.h"
 #include "exec/seq_scan.h"
@@ -104,6 +105,8 @@ BENCHMARK(BM_CopyingBuffer);
 // BENCHMARK_MAIN(), plus a --smoke flag google-benchmark doesn't know:
 // strip it from argv and inject a tiny --benchmark_min_time instead.
 int main(int argc, char** argv) {
+  bufferdb::bench::PrintJsonHeader(
+      "micro_buffer", bufferdb::bench::ScaleFactorFromArgs(argc, argv));
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {

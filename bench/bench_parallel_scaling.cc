@@ -61,7 +61,9 @@ double RunWallClock(Catalog& catalog, size_t degree, int repeats,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("parallel_scaling", sf);
+  Catalog& catalog = SharedTpch(sf);
   int repeats = SmokeIters(7, 2);
 
   std::printf(

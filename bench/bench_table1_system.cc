@@ -3,9 +3,12 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "sim/cost_model.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bufferdb::bench::PrintJsonHeader(
+      "table1_system", bufferdb::bench::ScaleFactorFromArgs(argc, argv));
   bufferdb::sim::SimConfig config;
   std::printf("Table 1: simulated system specification\n");
   std::printf("----------------------------------------------------\n");

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "profile/calibration_queries.h"
 #include "sim/code_layout.h"
 
@@ -11,7 +12,9 @@ using bufferdb::sim::CodeLayout;
 using bufferdb::sim::FuncId;
 using bufferdb::sim::ModuleId;
 
-int main() {
+int main(int argc, char** argv) {
+  bufferdb::bench::PrintJsonHeader(
+      "table2_footprints", bufferdb::bench::ScaleFactorFromArgs(argc, argv));
   auto table = bufferdb::profile::CalibrateFootprints();
   std::printf("Table 2: Postgres-style instruction footprints (measured)\n");
   std::printf("%s\n", table.ToString().c_str());

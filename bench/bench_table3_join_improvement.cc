@@ -9,7 +9,9 @@ using namespace bufferdb::bench;  // NOLINT
 using bufferdb::JoinStrategy;
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("table3_join_improvement", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   std::printf("Table 3: overall improvement (Query 3)\n\n");
   std::printf("%-12s %14s %14s %12s\n", "join", "original(s)", "buffered(s)",
               "improvement");

@@ -11,7 +11,9 @@ using namespace bufferdb::bench;  // NOLINT
 using bufferdb::JoinStrategy;
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("table4_cpi", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
   std::printf("Table 4: CPI comparison (Query 3)\n\n");
   std::printf("%-12s %10s %10s %16s %16s %10s\n", "join", "CPI orig",
               "CPI buf", "instr orig", "instr buf", "instr +%");

@@ -14,7 +14,9 @@
 using namespace bufferdb::bench;  // NOLINT
 
 int main(int argc, char** argv) {
-  bufferdb::Catalog& catalog = SharedTpch(ScaleFactorFromArgs(argc, argv));
+  double sf = ScaleFactorFromArgs(argc, argv);
+  PrintJsonHeader("table5_tpch", sf);
+  bufferdb::Catalog& catalog = SharedTpch(sf);
 
   struct NamedQuery {
     const char* name;

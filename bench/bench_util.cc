@@ -47,9 +47,15 @@ Catalog& SharedTpch(double scale_factor) {
 
 namespace {
 bool g_smoke_mode = false;
+size_t g_batch_size = 1;
+size_t g_buffer_size = BufferOperator::kDefaultBufferSize;
 }  // namespace
 
 bool SmokeMode() { return g_smoke_mode; }
+
+size_t BatchSizeArg() { return g_batch_size; }
+
+size_t BufferSizeArg() { return g_buffer_size; }
 
 double ScaleFactorFromArgs(int argc, char** argv) {
   double sf = kDefaultScaleFactor;
@@ -59,11 +65,30 @@ double ScaleFactorFromArgs(int argc, char** argv) {
       g_smoke_mode = true;
       continue;
     }
+    if (arg.rfind("--batch=", 0) == 0) {
+      long v = std::atol(arg.c_str() + 8);
+      g_batch_size = v > 0 ? static_cast<size_t>(v) : 1;
+      continue;
+    }
+    if (arg.rfind("--buffer=", 0) == 0) {
+      long v = std::atol(arg.c_str() + 9);
+      g_buffer_size = v > 0 ? static_cast<size_t>(v)
+                            : BufferOperator::kDefaultBufferSize;
+      continue;
+    }
     double v = std::atof(arg.c_str());
     if (v > 0) sf = v;
   }
   if (g_smoke_mode && sf > kSmokeScaleFactor) sf = kSmokeScaleFactor;
   return sf;
+}
+
+void PrintJsonHeader(const char* bench_name, double scale_factor) {
+  std::printf(
+      "{\"bench\": \"%s\", \"scale_factor\": %.6g, \"smoke\": %s, "
+      "\"batch_size\": %zu, \"buffer_size\": %zu}\n",
+      bench_name, scale_factor, g_smoke_mode ? "true" : "false", g_batch_size,
+      g_buffer_size);
 }
 
 QueryRun RunQuery(Catalog& catalog, const std::string& sql,
@@ -78,6 +103,8 @@ QueryRun RunQuery(Catalog& catalog, const std::string& sql,
   PlannerOptions planner_options;
   planner_options.refine = options.refine;
   planner_options.join_strategy = options.join_strategy;
+  planner_options.batch_size =
+      options.batch_size > 0 ? options.batch_size : BatchSizeArg();
   planner_options.refinement = options.refinement;
   planner_options.refinement.buffer_size = options.buffer_size;
   PhysicalPlanner planner(&catalog, planner_options);

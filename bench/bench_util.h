@@ -27,15 +27,29 @@ constexpr double kSmokeScaleFactor = 0.002;
 /// Loads (once per process) and returns the shared TPC-H catalog.
 Catalog& SharedTpch(double scale_factor);
 
-/// Parses the bench command line: a positional scale factor (argv[1]) and
-/// the `--smoke` flag. Smoke mode is for CI: it caps the scale factor at
-/// kSmokeScaleFactor and tells benches (via SmokeMode) to cut their
-/// iteration counts, so a bench run finishes in seconds and only checks
-/// that the bench still executes, not that its numbers are stable.
+/// Parses the bench command line: a positional scale factor (argv[1]), the
+/// `--smoke` flag, and the execution knobs `--batch=N` (NextBatch width for
+/// batch-aware consumers, default 1 = tuple-at-a-time) and `--buffer=N`
+/// (buffer operator capacity in tuples, default
+/// BufferOperator::kDefaultBufferSize). Smoke mode is for CI: it caps the
+/// scale factor at kSmokeScaleFactor and tells benches (via SmokeMode) to
+/// cut their iteration counts, so a bench run finishes in seconds and only
+/// checks that the bench still executes, not that its numbers are stable.
 double ScaleFactorFromArgs(int argc, char** argv);
 
 /// True once ScaleFactorFromArgs has seen `--smoke`.
 bool SmokeMode();
+
+/// Batch width selected by `--batch=N` (1 when absent).
+size_t BatchSizeArg();
+
+/// Buffer capacity selected by `--buffer=N` (kDefaultBufferSize when absent).
+size_t BufferSizeArg();
+
+/// Prints the one-line JSON run header every bench emits before its figure
+/// output: bench name, scale factor, smoke flag, and the *selected* batch
+/// and buffer sizes, so archived bench output is self-describing.
+void PrintJsonHeader(const char* bench_name, double scale_factor);
 
 /// `normal` iterations usually, `smoke` in smoke mode.
 inline int SmokeIters(int normal, int smoke = 1) {
@@ -53,6 +67,9 @@ struct RunOptions {
   bool refine = false;
   JoinStrategy join_strategy = JoinStrategy::kAuto;
   size_t buffer_size = 1000;
+  /// NextBatch width for batch-aware consumers (PlannerOptions::batch_size).
+  /// 0 — the default — defers to the `--batch=N` command-line knob.
+  size_t batch_size = 0;
   sim::SimConfig sim_config;
   RefinementOptions refinement;  // cardinality/l1i defaults; buffer_size and
                                  // merge flags applied from above.

@@ -1,0 +1,20 @@
+#ifndef BUFFERDB_COMMON_PREFETCH_H_
+#define BUFFERDB_COMMON_PREFETCH_H_
+
+namespace bufferdb {
+
+/// Software prefetch hint for a read that is about to miss. Batch consumers
+/// (hash-join probe, hash aggregation) issue these for the hash buckets of
+/// tuples ahead in the batch, overlapping DRAM misses across the batch
+/// instead of serializing them. No-op on compilers without the builtin.
+inline void PrefetchRead(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/1);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace bufferdb
+
+#endif  // BUFFERDB_COMMON_PREFETCH_H_

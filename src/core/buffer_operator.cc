@@ -16,16 +16,25 @@ BufferOperator::BufferOperator(OperatorPtr child, size_t buffer_size,
 
 Status BufferOperator::Open(ExecContext* ctx) {
   ctx_ = ctx;
-  buffer_.assign(buffer_size_, nullptr);
+  // Reserve the array once per Open; Refill reuses it so the hot loop never
+  // reallocates (buffer_reallocs() asserts this in tests). resize keeps the
+  // capacity across re-Opens.
+  buffer_.resize(buffer_size_, nullptr);
+  buffer_base_ = buffer_.data();
   pos_ = 0;
   filled_ = 0;
   end_of_tuples_ = false;
   refills_ = 0;
+  replays_ = 0;
   return child(0)->Open(ctx);
 }
 
 void BufferOperator::Refill() {
   ++refills_;
+  if (buffer_.data() != buffer_base_) {
+    ++buffer_reallocs_;
+    buffer_base_ = buffer_.data();
+  }
   pos_ = 0;
   filled_ = 0;
   const Schema& schema = child(0)->output_schema();
@@ -59,6 +68,38 @@ const uint8_t* BufferOperator::Next() {
   }
   ctx_->Touch(&buffer_[pos_], sizeof(const uint8_t*));
   return buffer_[pos_++];
+}
+
+size_t BufferOperator::NextBatch(const uint8_t** out, size_t max) {
+  // One buffer-module execution per slice, not per tuple: the batch path
+  // amortizes the buffer's own GetNext code across the slice (this is what
+  // the simulated i-cache counters observe as the batch/buffer interaction).
+  ctx_->ExecModule(module_id(), hot_funcs_);
+  if (pos_ >= filled_) {
+    if (end_of_tuples_) return 0;
+    Refill();
+    if (filled_ == 0) return 0;
+  }
+  size_t n = filled_ - pos_;
+  if (n > max) n = max;
+  std::memcpy(out, buffer_.data() + pos_, n * sizeof(const uint8_t*));
+  ctx_->Touch(buffer_.data() + pos_, n * sizeof(const uint8_t*));
+  pos_ += n;
+  return n;
+}
+
+Status BufferOperator::Rescan() {
+  // Replay is only valid when the whole child stream sits in the array:
+  // exactly one refill happened and it observed end-of-stream. (A second
+  // refill overwrites the array, and refills_ == 0 means nothing was read
+  // yet, so the state is already "at the beginning".)
+  if (refills_ == 0) return Status::OK();
+  if (end_of_tuples_ && refills_ == 1) {
+    ++replays_;
+    pos_ = 0;
+    return Status::OK();
+  }
+  return Operator::Rescan();
 }
 
 void BufferOperator::Close() {

@@ -34,6 +34,19 @@ class BufferOperator final : public Operator {
   const uint8_t* Next() override;
   void Close() override;
 
+  /// Batch fast path: hands out a slice of the already-materialized pointer
+  /// array. No tuple is touched — only `min(max, remaining)` pointers are
+  /// copied out — so a batch-aware parent drains one refill in
+  /// ~`buffer_size/max` calls instead of `buffer_size` virtual Next()s,
+  /// and the buffer module's per-tuple code is amortized per slice.
+  size_t NextBatch(const uint8_t** out, size_t max) override;
+
+  /// Replay optimization: when the child was fully drained into a single
+  /// buffer fill, re-positioning just resets the array cursor — the child
+  /// is not re-executed. Big win for nested-loop inner sides. Falls back to
+  /// the default Close+Open re-execution otherwise.
+  Status Rescan() override;
+
   const Schema& output_schema() const override {
     return child(0)->output_schema();
   }
@@ -43,6 +56,13 @@ class BufferOperator final : public Operator {
   size_t buffer_size() const { return buffer_size_; }
   /// Number of times the array was (re)filled from the child.
   uint64_t refills() const { return refills_; }
+  /// Number of times Rescan() replayed the array instead of re-executing
+  /// the child.
+  uint64_t replays() const { return replays_; }
+  /// Debug counter: times the pointer array's storage moved after Open.
+  /// The array is reserved once per Open and reused across refills, so this
+  /// must stay 0 for the hot loop to be allocation-free.
+  uint64_t buffer_reallocs() const { return buffer_reallocs_; }
 
  private:
   void Refill();
@@ -50,10 +70,13 @@ class BufferOperator final : public Operator {
   size_t buffer_size_;
   bool copy_tuples_;
   std::vector<const uint8_t*> buffer_;
+  const uint8_t** buffer_base_ = nullptr;  // buffer_.data() at Open.
   size_t pos_ = 0;
   size_t filled_ = 0;
   bool end_of_tuples_ = false;
   uint64_t refills_ = 0;
+  uint64_t replays_ = 0;
+  uint64_t buffer_reallocs_ = 0;
 };
 
 }  // namespace bufferdb

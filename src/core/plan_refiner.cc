@@ -1,5 +1,6 @@
 #include "core/plan_refiner.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace bufferdb {
@@ -24,9 +25,14 @@ bool PlanRefiner::Eligible(const Operator& op) const {
 OperatorPtr PlanRefiner::CloseGroup(OperatorPtr group_top, OpenGroup group,
                                     RefinementReport* report) {
   // The cardinality rule (§6, §7.3): buffering only pays off when the group
-  // is invoked often enough. Unknown estimates are treated as large.
-  bool profitable = group.output_rows < 0 ||
-                    group.output_rows >= options_.cardinality_threshold;
+  // is invoked often enough. Unknown estimates are treated as large. A
+  // batch-draining parent amortizes the buffer's per-tuple code over the
+  // batch, so the break-even cardinality drops by the batch width.
+  double threshold = options_.cardinality_threshold;
+  if (options_.batch_size > 1) {
+    threshold = std::max(1.0, threshold / static_cast<double>(options_.batch_size));
+  }
+  bool profitable = group.output_rows < 0 || group.output_rows >= threshold;
   if (!profitable) {
     if (report != nullptr) {
       report->groups.push_back(ExecutionGroup{std::move(group.op_labels),

@@ -21,6 +21,17 @@ struct RefinementOptions {
   /// simulator configuration (regenerate with bench_fig11_cardinality).
   double cardinality_threshold = 128.0;
   size_t buffer_size = BufferOperator::kDefaultBufferSize;
+  /// Batch width the plan's consumers drain buffers with (the NextBatch
+  /// fast path). 1 — the default and the paper's setting — models
+  /// tuple-at-a-time parents. When > 1, a batch-aware parent above a Buffer
+  /// executes the buffer's own code once per slice instead of once per
+  /// tuple, so the per-tuple buffering overhead shrinks by the batch width;
+  /// the refiner accounts for this by scaling the cardinality threshold
+  /// down by the batch width (clamped to >= 1 row), placing buffers above
+  /// smaller groups than the tuple path would justify. Instruction
+  /// *footprints* are unaffected: the buffer's code must still be resident,
+  /// so group formation (§6.1) is identical.
+  size_t batch_size = 1;
   /// When false (ablation), every eligible operator becomes its own
   /// execution group — the "too much buffering" regime of §6.
   bool merge_execution_groups = true;

@@ -26,6 +26,27 @@ const uint8_t* FilterOperator::Next() {
   return nullptr;
 }
 
+size_t FilterOperator::NextBatch(const uint8_t** out, size_t max) {
+  const Schema& schema = child(0)->output_schema();
+  if (in_batch_.size() < max) in_batch_.resize(max);
+  for (;;) {
+    size_t in_n = child(0)->NextBatch(in_batch_.data(), max);
+    if (in_n == 0) {
+      ctx_->ExecModule(module_id(), hot_funcs_);  // End-of-stream.
+      return 0;
+    }
+    size_t n = 0;
+    for (size_t i = 0; i < in_n; ++i) {
+      ctx_->ExecModule(module_id(), hot_funcs_);
+      const uint8_t* row = in_batch_[i];
+      out[n] = row;
+      n += EvaluatePredicate(*predicate_, TupleView(row, &schema)) ? 1 : 0;
+    }
+    if (n > 0) return n;
+    // Every row of this batch was filtered out; pull the next one.
+  }
+}
+
 void FilterOperator::Close() { child(0)->Close(); }
 
 std::string FilterOperator::label() const {

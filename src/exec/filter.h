@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "exec/operator.h"
 #include "expr/expression.h"
@@ -20,6 +21,11 @@ class FilterOperator final : public Operator {
   const uint8_t* Next() override;
   void Close() override;
 
+  /// Batch fast path: pulls whole batches from the child and writes the
+  /// survivors with a branch-free selection loop (the output cursor
+  /// advances by the predicate result, so the store itself never branches).
+  size_t NextBatch(const uint8_t** out, size_t max) override;
+
   const Schema& output_schema() const override {
     return child(0)->output_schema();
   }
@@ -30,6 +36,7 @@ class FilterOperator final : public Operator {
 
  private:
   ExprPtr predicate_;
+  std::vector<const uint8_t*> in_batch_;  // NextBatch scratch.
 };
 
 }  // namespace bufferdb

@@ -2,32 +2,43 @@
 
 #include <cstring>
 
+#include "common/prefetch.h"
 #include "storage/tuple.h"
 
 namespace bufferdb {
 
 namespace {
 
-// Serializes group-key values into a hashable byte string.
-std::string SerializeKey(const std::vector<Value>& values) {
-  std::string key;
+// Serializes group-key values into a hashable byte string. Appends to *out
+// (cleared first) so batch loads can reuse one string per batch slot.
+void SerializeKeyInto(const std::vector<Value>& values, std::string* out) {
+  out->clear();
   for (const Value& v : values) {
-    key.push_back(static_cast<char>(v.type()));
-    key.push_back(v.is_null() ? 1 : 0);
+    out->push_back(static_cast<char>(v.type()));
+    out->push_back(v.is_null() ? 1 : 0);
     if (v.is_null()) continue;
     if (v.type() == DataType::kString) {
       uint32_t n = static_cast<uint32_t>(v.string_value().size());
-      key.append(reinterpret_cast<const char*>(&n), 4);
-      key.append(v.string_value());
+      out->append(reinterpret_cast<const char*>(&n), 4);
+      out->append(v.string_value());
     } else if (v.type() == DataType::kDouble) {
       double d = v.double_value();
-      key.append(reinterpret_cast<const char*>(&d), 8);
+      out->append(reinterpret_cast<const char*>(&d), 8);
     } else {
       int64_t i = v.int64_value();
-      key.append(reinterpret_cast<const char*>(&i), 8);
+      out->append(reinterpret_cast<const char*>(&i), 8);
     }
   }
-  return key;
+}
+
+// FNV-1a over the serialized key bytes.
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 }  // namespace
@@ -53,42 +64,125 @@ HashAggregationOperator::HashAggregationOperator(OperatorPtr child,
 
 Status HashAggregationOperator::Open(ExecContext* ctx) {
   ctx_ = ctx;
-  table_.clear();
+  buckets_.assign(1024, -1);
+  group_states_.clear();
+  emit_pos_ = 0;
   loaded_ = false;
   return child(0)->Open(ctx);
 }
 
-const uint8_t* HashAggregationOperator::Next() {
+void HashAggregationOperator::Rehash() {
+  buckets_.assign(buckets_.size() * 2, -1);
+  const uint64_t mask = buckets_.size() - 1;
+  for (int32_t i = 0; i < static_cast<int32_t>(group_states_.size()); ++i) {
+    int32_t* bucket = &buckets_[group_states_[i].hash & mask];
+    group_states_[i].next = *bucket;
+    *bucket = i;
+  }
+}
+
+HashAggregationOperator::GroupState* HashAggregationOperator::FindOrCreateGroup(
+    const std::string& key, uint64_t hash, const TupleView& view) {
+  int32_t* bucket = &buckets_[hash & (buckets_.size() - 1)];
+  for (int32_t i = *bucket; i >= 0; i = group_states_[i].next) {
+    GroupState& state = group_states_[i];
+    if (state.hash == hash && state.key == key) return &state;
+  }
+  if (group_states_.size() + 1 > buckets_.size() / 2) {
+    Rehash();
+    bucket = &buckets_[hash & (buckets_.size() - 1)];
+  }
+  GroupState state;
+  state.hash = hash;
+  state.key = key;
+  state.next = *bucket;
+  state.group_values.resize(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    state.group_values[g] = groups_[g].expr->Evaluate(view);
+  }
+  state.accs.resize(specs_.size());
+  group_states_.push_back(std::move(state));
+  *bucket = static_cast<int32_t>(group_states_.size() - 1);
+  return &group_states_.back();
+}
+
+void HashAggregationOperator::AbsorbRow(const TupleView& view,
+                                        const std::string& key,
+                                        uint64_t hash) {
+  GroupState* state = FindOrCreateGroup(key, hash, view);
+  ctx_->Touch(state, sizeof(GroupState));
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    Value v = specs_[i].arg != nullptr ? specs_[i].arg->Evaluate(view) : Value();
+    state->accs[i].Update(specs_[i].func, v);
+  }
+}
+
+void HashAggregationOperator::Load() {
   const Schema& in_schema = child(0)->output_schema();
-  if (!loaded_) {
-    std::vector<Value> key_values(groups_.size());
-    while (const uint8_t* row = child(0)->Next()) {
+  std::vector<Value> key_values(groups_.size());
+  std::string key;
+  while (const uint8_t* row = child(0)->Next()) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    TupleView view(row, &in_schema);
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      key_values[g] = groups_[g].expr->Evaluate(view);
+    }
+    SerializeKeyInto(key_values, &key);
+    AbsorbRow(view, key, HashKey(key));
+  }
+}
+
+// Batch load: pass 1 serializes and hashes the group keys of the whole
+// batch, prefetching each row's bucket head; pass 2 does the lookups and
+// accumulator updates against buckets whose cache lines are already in
+// flight. A rehash mid-batch only wastes the remaining prefetches.
+void HashAggregationOperator::LoadBatched() {
+  const Schema& in_schema = child(0)->output_schema();
+  batch_rows_.resize(batch_size_);
+  batch_keys_.resize(batch_size_);
+  batch_hashes_.resize(batch_size_);
+  std::vector<Value> key_values(groups_.size());
+  for (;;) {
+    size_t n = child(0)->NextBatch(batch_rows_.data(), batch_size_);
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      TupleView view(batch_rows_[i], &in_schema);
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        key_values[g] = groups_[g].expr->Evaluate(view);
+      }
+      SerializeKeyInto(key_values, &batch_keys_[i]);
+      uint64_t h = HashKey(batch_keys_[i]);
+      batch_hashes_[i] = h;
+      PrefetchRead(&buckets_[h & (buckets_.size() - 1)]);
+    }
+    // By now the first rows' bucket lines have arrived: read the heads and
+    // prefetch the group nodes they chain to, overlapping the second
+    // dependent miss of each lookup as well.
+    for (size_t i = 0; i < n; ++i) {
+      int32_t head = buckets_[batch_hashes_[i] & (buckets_.size() - 1)];
+      if (head >= 0) PrefetchRead(&group_states_[head]);
+    }
+    for (size_t i = 0; i < n; ++i) {
       ctx_->ExecModule(module_id(), hot_funcs_);
-      TupleView view(row, &in_schema);
-      for (size_t i = 0; i < groups_.size(); ++i) {
-        key_values[i] = groups_[i].expr->Evaluate(view);
-      }
-      std::string key = SerializeKey(key_values);
-      auto [it, inserted] = table_.try_emplace(key);
-      GroupState& state = it->second;
-      if (inserted) {
-        state.group_values = key_values;
-        state.accs.resize(specs_.size());
-      }
-      ctx_->Touch(&state, sizeof(GroupState));
-      for (size_t i = 0; i < specs_.size(); ++i) {
-        Value v = specs_[i].arg != nullptr ? specs_[i].arg->Evaluate(view)
-                                           : Value();
-        state.accs[i].Update(specs_[i].func, v);
-      }
+      TupleView view(batch_rows_[i], &in_schema);
+      AbsorbRow(view, batch_keys_[i], batch_hashes_[i]);
+    }
+  }
+}
+
+const uint8_t* HashAggregationOperator::Next() {
+  if (!loaded_) {
+    if (batch_size_ > 1) {
+      LoadBatched();
+    } else {
+      Load();
     }
     loaded_ = true;
-    emit_it_ = table_.begin();
+    emit_pos_ = 0;
   }
   ctx_->ExecModule(module_id(), hot_funcs_);
-  if (emit_it_ == table_.end()) return nullptr;
-  const GroupState& state = emit_it_->second;
-  ++emit_it_;
+  if (emit_pos_ >= group_states_.size()) return nullptr;
+  const GroupState& state = group_states_[emit_pos_++];
   TupleBuilder builder(&output_schema_);
   size_t col = 0;
   for (const Value& v : state.group_values) builder.Set(col++, v);
@@ -103,7 +197,9 @@ const uint8_t* HashAggregationOperator::Next() {
 }
 
 void HashAggregationOperator::Close() {
-  table_.clear();
+  buckets_.clear();
+  group_states_.clear();
+  emit_pos_ = 0;
   loaded_ = false;
   child(0)->Close();
 }

@@ -1,5 +1,6 @@
 #include "exec/hash_join.h"
 
+#include "common/prefetch.h"
 #include "common/rng.h"
 #include "expr/evaluator.h"
 #include "storage/tuple.h"
@@ -34,6 +35,16 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
   BUFFERDB_RETURN_IF_ERROR(child(1)->Open(ctx));
   probe_row_ = nullptr;
   chain_ = -1;
+  probe_pos_ = 0;
+  probe_count_ = 0;
+  probe_eof_ = false;
+  if (probe_batch_size_ > 1) {
+    probe_rows_.resize(probe_batch_size_);
+    probe_keys_.resize(probe_batch_size_);
+    probe_buckets_.resize(probe_batch_size_);
+    probe_chains_.resize(probe_batch_size_);
+    probe_valid_.resize(probe_batch_size_);
+  }
 
   if (!built_) {
     const Schema& build_schema = child(1)->output_schema();
@@ -71,6 +82,44 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
+// Pulls one batch of probe rows and resolves their bucket heads in two
+// passes: pass 1 evaluates keys, hashes, and prefetches every row's bucket;
+// pass 2 reads the (now in-flight) bucket heads and prefetches the first
+// chain node. By the time the caller walks a row's chain, its cache lines
+// are en route — the misses of up to `probe_batch_size_` independent probes
+// overlap instead of paying a full DRAM round-trip each.
+void HashJoinOperator::FetchProbeBatch() {
+  const Schema& probe_schema = child(0)->output_schema();
+  probe_pos_ = 0;
+  probe_count_ = child(0)->NextBatch(probe_rows_.data(), probe_batch_size_);
+  if (probe_count_ == 0) {
+    probe_eof_ = true;
+    return;
+  }
+  const uint64_t mask = buckets_.size() - 1;
+  for (size_t i = 0; i < probe_count_; ++i) {
+    TupleView view(probe_rows_[i], &probe_schema);
+    Value key = probe_key_->Evaluate(view);
+    bool valid = !key.is_null();
+    probe_valid_[i] = valid ? 1 : 0;
+    if (!valid) continue;
+    probe_keys_[i] = key.int64_value();
+    uint64_t b = SplitMix64(static_cast<uint64_t>(probe_keys_[i])) & mask;
+    probe_buckets_[i] = b;
+    PrefetchRead(&buckets_[b]);
+  }
+  for (size_t i = 0; i < probe_count_; ++i) {
+    if (!probe_valid_[i]) {
+      probe_chains_[i] = -1;
+      continue;
+    }
+    int32_t head = buckets_[probe_buckets_[i]];
+    ctx_->Touch(&buckets_[probe_buckets_[i]], sizeof(int32_t));
+    if (head >= 0) PrefetchRead(&nodes_[head]);
+    probe_chains_[i] = head;
+  }
+}
+
 const uint8_t* HashJoinOperator::Next() {
   const Schema& probe_schema = child(0)->output_schema();
   const Schema& build_schema = child(1)->output_schema();
@@ -92,6 +141,23 @@ const uint8_t* HashJoinOperator::Next() {
           EvaluatePredicate(*residual_predicate_, view)) {
         return combined;
       }
+    }
+    if (probe_batch_size_ > 1) {
+      // Batched probe: serve the precomputed rows of the current batch.
+      if (probe_pos_ >= probe_count_) {
+        if (!probe_eof_) FetchProbeBatch();
+        if (probe_count_ == 0 || probe_pos_ >= probe_count_) {
+          ctx_->ExecModule(module_id(), hot_funcs_);
+          return nullptr;
+        }
+      }
+      ctx_->ExecModule(module_id(), hot_funcs_);
+      size_t i = probe_pos_++;
+      if (!probe_valid_[i]) continue;
+      probe_row_ = probe_rows_[i];
+      probe_key_value_ = probe_keys_[i];
+      chain_ = probe_chains_[i];
+      continue;
     }
     ctx_->ExecModule(module_id(), hot_funcs_);
     probe_row_ = child(0)->Next();

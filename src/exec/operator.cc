@@ -9,6 +9,16 @@ Status Operator::Rescan() {
   return Open(ctx_);
 }
 
+size_t Operator::NextBatch(const uint8_t** out, size_t max) {
+  size_t n = 0;
+  while (n < max) {
+    const uint8_t* row = Next();
+    if (row == nullptr) break;
+    out[n++] = row;
+  }
+  return n;
+}
+
 std::string Operator::label() const {
   return sim::ModuleName(module_id());
 }
@@ -19,6 +29,20 @@ Result<std::vector<const uint8_t*>> ExecutePlan(Operator* root,
   std::vector<const uint8_t*> rows;
   while (const uint8_t* row = root->Next()) {
     rows.push_back(row);
+  }
+  root->Close();
+  return rows;
+}
+
+Result<std::vector<const uint8_t*>> ExecutePlanBatched(Operator* root,
+                                                       ExecContext* ctx,
+                                                       size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  BUFFERDB_RETURN_IF_ERROR(root->Open(ctx));
+  std::vector<const uint8_t*> rows;
+  std::vector<const uint8_t*> batch(batch_size);
+  while (size_t n = root->NextBatch(batch.data(), batch_size)) {
+    rows.insert(rows.end(), batch.begin(), batch.begin() + n);
   }
   root->Close();
   return rows;

@@ -48,6 +48,11 @@ struct ExecContext {
 /// storage/tuple.h) or nullptr when exhausted.
 class Operator {
  public:
+  /// Default batch width for the NextBatch fast path: large enough to
+  /// amortize per-batch costs and cover a prefetch pipeline, small enough
+  /// that a batch of row pointers stays in L1-D (256 * 8B = 2KB).
+  static constexpr size_t kDefaultBatchSize = 256;
+
   virtual ~Operator() = default;
 
   Operator(const Operator&) = delete;
@@ -56,6 +61,20 @@ class Operator {
   virtual Status Open(ExecContext* ctx) = 0;
   virtual const uint8_t* Next() = 0;
   virtual void Close() = 0;
+
+  /// Batch-at-a-time transfer: fills `out[0..max)` with up to `max` row
+  /// pointers and returns the count; 0 means end of stream. A non-final
+  /// call may return fewer than `max` rows — callers must keep calling
+  /// until 0. Row pointers obey the same lifetime rule as Next() (valid
+  /// until the query's arena is released, never invalidated by the next
+  /// call). Mixing Next() and NextBatch() on one operator is allowed; the
+  /// two drain the same underlying stream.
+  ///
+  /// The default implementation loops over Next(), so every operator
+  /// supports the batch interface unchanged; operators with a natural
+  /// array representation (Buffer, Exchange) or a tight generation loop
+  /// (SeqScan, Filter, Project) override it.
+  virtual size_t NextBatch(const uint8_t** out, size_t max);
 
   /// Re-positions at the beginning without releasing state. Default
   /// implementation is Close+Open.
@@ -138,6 +157,12 @@ using OperatorPtr = std::unique_ptr<Operator>;
 /// rows. Convenience used by tests, examples and benches.
 Result<std::vector<const uint8_t*>> ExecutePlan(Operator* root,
                                                 ExecContext* ctx);
+
+/// Like ExecutePlan but drains the root through NextBatch() with batches of
+/// `batch_size` rows — the batch-at-a-time fast path end to end.
+Result<std::vector<const uint8_t*>> ExecutePlanBatched(
+    Operator* root, ExecContext* ctx,
+    size_t batch_size = Operator::kDefaultBatchSize);
 
 /// Runs a plan and returns the produced rows as boxed values.
 Result<std::vector<std::vector<Value>>> ExecutePlanRows(Operator* root,

@@ -36,6 +36,28 @@ const uint8_t* ProjectOperator::Next() {
   return out;
 }
 
+size_t ProjectOperator::NextBatch(const uint8_t** out, size_t max) {
+  if (in_batch_.size() < max) in_batch_.resize(max);
+  size_t in_n = child(0)->NextBatch(in_batch_.data(), max);
+  if (in_n == 0) {
+    ctx_->ExecModule(module_id(), hot_funcs_);  // End-of-stream.
+    return 0;
+  }
+  const Schema& in_schema = child(0)->output_schema();
+  TupleBuilder builder(&output_schema_);
+  for (size_t i = 0; i < in_n; ++i) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    TupleView view(in_batch_[i], &in_schema);
+    for (size_t c = 0; c < items_.size(); ++c) {
+      builder.Set(c, items_[c].expr->Evaluate(view));
+    }
+    const uint8_t* row = builder.Finish(&ctx_->arena);
+    ctx_->Touch(row, TupleView(row, &output_schema_).size_bytes());
+    out[i] = row;
+  }
+  return in_n;
+}
+
 void ProjectOperator::Close() { child(0)->Close(); }
 
 }  // namespace bufferdb

@@ -25,6 +25,10 @@ class ProjectOperator final : public Operator {
   const uint8_t* Next() override;
   void Close() override;
 
+  /// Batch fast path: projects a whole child batch in one loop, hoisting
+  /// the schema lookup and the TupleBuilder out of the per-row work.
+  size_t NextBatch(const uint8_t** out, size_t max) override;
+
   const Schema& output_schema() const override { return output_schema_; }
   sim::ModuleId module_id() const override { return sim::ModuleId::kProject; }
   std::string label() const override { return "Project"; }
@@ -32,6 +36,7 @@ class ProjectOperator final : public Operator {
  private:
   std::vector<ProjectItem> items_;
   Schema output_schema_;
+  std::vector<const uint8_t*> in_batch_;  // NextBatch scratch.
 };
 
 }  // namespace bufferdb

@@ -41,6 +41,34 @@ const uint8_t* SeqScanOperator::Next() {
   return nullptr;
 }
 
+size_t SeqScanOperator::NextBatch(const uint8_t** out, size_t max) {
+  const Schema& schema = table_->schema();
+  size_t n = 0;
+  while (n < max) {
+    if (pos_ >= limit_) {
+      parallel::Morsel morsel;
+      if (morsels_ == nullptr || !morsels_->TryNext(&morsel)) break;
+      pos_ = morsel.begin;
+      limit_ = morsel.end;
+      continue;
+    }
+    // Tight run over the current range: no morsel check per row, and the
+    // survivor store is branch-free (`n` advances by 0 or 1).
+    while (pos_ < limit_ && n < max) {
+      ctx_->ExecModule(module_id(), hot_funcs_);
+      const uint8_t* row = table_->row(pos_++);
+      TupleView view(row, &schema);
+      ctx_->Touch(row, view.size_bytes());
+      bool keep =
+          predicate_ == nullptr || EvaluatePredicate(*predicate_, view);
+      out[n] = row;
+      n += keep ? 1 : 0;
+    }
+  }
+  if (n == 0) ctx_->ExecModule(module_id(), hot_funcs_);  // End-of-scan.
+  return n;
+}
+
 void SeqScanOperator::Close() {
   pos_ = 0;
   limit_ = 0;

@@ -29,6 +29,12 @@ class SeqScanOperator final : public Operator {
   void Close() override;
   Status Rescan() override;
 
+  /// Batch fast path: generates (and, with a predicate, filters) up to
+  /// `max` rows in one tight loop over the table, writing survivors with a
+  /// branch-free selection store instead of returning through a virtual
+  /// call per row.
+  size_t NextBatch(const uint8_t** out, size_t max) override;
+
   const Schema& output_schema() const override { return table_->schema(); }
   sim::ModuleId module_id() const override {
     return predicate_ ? sim::ModuleId::kSeqScanFiltered

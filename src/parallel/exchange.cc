@@ -1,5 +1,7 @@
 #include "parallel/exchange.h"
 
+#include <cstring>
+
 namespace bufferdb::parallel {
 
 ExchangeOperator::ExchangeOperator(std::vector<OperatorPtr> fragments,
@@ -120,6 +122,23 @@ const uint8_t* ExchangeOperator::Next() {
     ctx_->ExecModule(module_id(), hot_funcs_);
   }
   return current_[current_pos_++];
+}
+
+size_t ExchangeOperator::NextBatch(const uint8_t** out, size_t max) {
+  while (current_pos_ >= current_.size()) {
+    current_.clear();
+    current_pos_ = 0;
+    if (queue_ == nullptr || !queue_->Pop(&current_)) {
+      ctx_->ExecModule(module_id(), hot_funcs_);  // End-of-stream bookkeeping.
+      return 0;
+    }
+    ctx_->ExecModule(module_id(), hot_funcs_);  // One merge per popped batch.
+  }
+  size_t n = current_.size() - current_pos_;
+  if (n > max) n = max;
+  std::memcpy(out, current_.data() + current_pos_, n * sizeof(const uint8_t*));
+  current_pos_ += n;
+  return n;
 }
 
 void ExchangeOperator::Close() {

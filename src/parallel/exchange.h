@@ -57,6 +57,11 @@ class ExchangeOperator final : public Operator {
   const uint8_t* Next() override;
   void Close() override;
 
+  /// Batch fast path: forwards the TupleQueue's already-batched pops as
+  /// slices instead of re-serializing them into per-tuple calls — the
+  /// worker-side batching survives the thread boundary.
+  size_t NextBatch(const uint8_t** out, size_t max) override;
+
   const Schema& output_schema() const override {
     return child(0)->output_schema();
   }

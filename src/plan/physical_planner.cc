@@ -131,10 +131,12 @@ Result<OperatorPtr> PhysicalPlanner::PlanJoinStep(const LogicalQuery& query,
     }
     case JoinStrategy::kHashJoin: {
       OperatorPtr build = MakeScan(inner_table, inner_filter);
-      join_op = std::make_unique<HashJoinOperator>(
+      auto hash_join = std::make_unique<HashJoinOperator>(
           std::move(plan), std::move(build),
           ColRef(outer_schema, outer_key_col),
           ColRef(inner_schema, inner_key_col), nullptr);
+      hash_join->set_probe_batch_size(options_.batch_size);
+      join_op = std::move(hash_join);
       break;
     }
     case JoinStrategy::kMergeJoin: {
@@ -386,8 +388,10 @@ Result<OperatorPtr> PhysicalPlanner::CreatePlan(const LogicalQuery& query,
                                                    std::move(specs));
       plan->set_estimated_rows(1.0);
     } else {
-      plan = std::make_unique<HashAggregationOperator>(
+      auto hash_agg = std::make_unique<HashAggregationOperator>(
           std::move(plan), std::move(groups), std::move(specs));
+      hash_agg->set_batch_size(options_.batch_size);
+      plan = std::move(hash_agg);
       // Crude distinct-groups estimate.
       plan->set_estimated_rows(std::max(1.0, std::min(input_rows / 10.0,
                                                       10000.0)));
@@ -448,7 +452,13 @@ Result<OperatorPtr> PhysicalPlanner::CreatePlan(const LogicalQuery& query,
   }
 
   if (options_.refine) {
-    PlanRefiner refiner(options_.refinement);
+    RefinementOptions refinement = options_.refinement;
+    // The planner-level batch knob also drives the refiner's accounting,
+    // unless the caller pinned a refinement batch size explicitly.
+    if (options_.batch_size > 1 && refinement.batch_size <= 1) {
+      refinement.batch_size = options_.batch_size;
+    }
+    PlanRefiner refiner(refinement);
     plan = refiner.Refine(std::move(plan), report);
   }
   return plan;

@@ -44,6 +44,13 @@ struct PlannerOptions {
   size_t parallel_degree = 1;
   /// Rows per morsel of the partitioned driving scan; 0 = library default.
   size_t morsel_rows = 0;
+  /// Batch width for the batch-at-a-time fast path: batch-aware consumers
+  /// (hash-join probe, hash aggregation) consume their input through
+  /// NextBatch with prefetching, and the refiner accounts for batch-drained
+  /// buffers (RefinementOptions::batch_size). 1 — the default — keeps
+  /// tuple-at-a-time execution everywhere, the paper's setting; set e.g.
+  /// Operator::kDefaultBatchSize to enable the batch path.
+  size_t batch_size = 1;
   /// Worker pool for Exchange operators; null = the process-global pool.
   parallel::ThreadPool* thread_pool = nullptr;
 };

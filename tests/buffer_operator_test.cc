@@ -143,6 +143,93 @@ TEST(BufferOperatorTest, StackedBuffersRemainTransparent) {
   EXPECT_EQ(rows[49][0], Value::Int64(49));
 }
 
+TEST(BufferOperatorTest, NextBatchHandsOutPointerArraySlices) {
+  // The batch path is zero-copy twice over: the tuples stay where the child
+  // produced them AND the slice handed out is a straight window of the
+  // buffer's pointer array, in order.
+  auto table = SequentialTable(10);
+  BufferOperator buffer(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr), 100);
+  ExecContext ctx;
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  const uint8_t* batch[4];
+  size_t total = 0;
+  while (size_t n = buffer.NextBatch(batch, 4)) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(batch[i], table->row(total + i));
+    }
+    total += n;
+  }
+  EXPECT_EQ(total, 10u);
+  buffer.Close();
+}
+
+TEST(BufferOperatorTest, RescanReplaysArrayWhenInputFullyBuffered) {
+  // Satellite: when one Refill consumed the whole child stream, Rescan
+  // rewinds the pointer array instead of re-executing the subtree below.
+  auto table = SequentialTable(50);
+  BufferOperator buffer(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr), 100);
+  ExecContext ctx;
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 50; ++i) {
+      const uint8_t* row = buffer.Next();
+      ASSERT_NE(row, nullptr) << "pass " << pass << " i " << i;
+      EXPECT_EQ(row, table->row(i));
+    }
+    EXPECT_EQ(buffer.Next(), nullptr);
+    ASSERT_TRUE(buffer.Rescan().ok());
+  }
+  EXPECT_EQ(buffer.replays(), 3u);
+  EXPECT_EQ(buffer.refills(), 1u);  // The child ran exactly once.
+  buffer.Close();
+}
+
+TEST(BufferOperatorTest, RescanBeforeAnyReadIsANoOp) {
+  auto table = SequentialTable(5);
+  BufferOperator buffer(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr), 100);
+  ExecContext ctx;
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  ASSERT_TRUE(buffer.Rescan().ok());
+  EXPECT_EQ(buffer.replays(), 0u);
+  int count = 0;
+  while (buffer.Next() != nullptr) ++count;
+  EXPECT_EQ(count, 5);
+  buffer.Close();
+}
+
+TEST(BufferOperatorTest, RescanFallsBackWhenInputExceedsBuffer) {
+  // More than one refill: the array holds only the tail, so Rescan must
+  // re-execute the child rather than replay.
+  auto table = SequentialTable(50);
+  BufferOperator buffer(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr), 10);
+  ExecContext ctx;
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  int count = 0;
+  while (buffer.Next() != nullptr) ++count;
+  ASSERT_EQ(count, 50);
+  ASSERT_TRUE(buffer.Rescan().ok());
+  EXPECT_EQ(buffer.replays(), 0u);
+  count = 0;
+  while (buffer.Next() != nullptr) ++count;
+  EXPECT_EQ(count, 50);
+  buffer.Close();
+}
+
+TEST(BufferOperatorTest, RefillNeverReallocatesThePointerArray) {
+  // Satellite: Open reserves the array once; the refill loop must reuse it.
+  // 10000 rows through a 64-slot buffer = 157 refills, zero reallocations.
+  auto table = SequentialTable(10000);
+  BufferOperator buffer(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr), 64);
+  EXPECT_EQ(RunPlan(&buffer).size(), 10000u);
+  EXPECT_GT(buffer.refills(), 150u);
+  EXPECT_EQ(buffer.buffer_reallocs(), 0u);
+}
+
 TEST(BufferOperatorTest, ReducesInstructionCacheMissesUnderSim) {
   // The headline effect at operator level: Aggregation over Scan with and
   // without a buffer in between.
