@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_BENCH_BENCH_UTIL_H_
-#define BUFFERDB_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -86,4 +85,3 @@ void PrintComparison(const std::string& title, const QueryRun& original,
 
 }  // namespace bufferdb::bench
 
-#endif  // BUFFERDB_BENCH_BENCH_UTIL_H_

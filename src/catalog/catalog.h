@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_CATALOG_CATALOG_H_
-#define BUFFERDB_CATALOG_CATALOG_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -28,11 +27,11 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  Status AddTable(std::unique_ptr<Table> table);
+  [[nodiscard]] Status AddTable(std::unique_ptr<Table> table);
   Table* GetTable(const std::string& name) const;
 
   /// Builds a B+-tree over `column_name` of `table_name` (int64/date only).
-  Status CreateIndex(const std::string& index_name,
+  [[nodiscard]] Status CreateIndex(const std::string& index_name,
                      const std::string& table_name,
                      const std::string& column_name, bool unique = false);
 
@@ -49,4 +48,3 @@ class Catalog {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_CATALOG_CATALOG_H_

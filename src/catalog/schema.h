@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_CATALOG_SCHEMA_H_
-#define BUFFERDB_CATALOG_SCHEMA_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -53,4 +52,3 @@ class Schema {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_CATALOG_SCHEMA_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_CATALOG_VALUE_H_
-#define BUFFERDB_CATALOG_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -98,4 +97,3 @@ class Value {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_CATALOG_VALUE_H_

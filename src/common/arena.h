@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_COMMON_ARENA_H_
-#define BUFFERDB_COMMON_ARENA_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -44,4 +43,3 @@ class Arena {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_COMMON_ARENA_H_

@@ -37,7 +37,9 @@ void DateToYmd(int64_t days, int* year, int* month, int* day) {
 std::string DateToString(int64_t days) {
   int y, m, d;
   DateToYmd(days, &y, &m, &d);
-  char buf[16];
+  // 32 bytes: even pathological int years fit, so -Wformat-truncation is
+  // provably satisfied under -Werror.
+  char buf[32];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
   return buf;
 }

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_COMMON_DATE_H_
-#define BUFFERDB_COMMON_DATE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -23,4 +22,3 @@ Result<int64_t> ParseDate(const std::string& text);
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_COMMON_DATE_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_COMMON_PREFETCH_H_
-#define BUFFERDB_COMMON_PREFETCH_H_
+#pragma once
 
 namespace bufferdb {
 
@@ -17,4 +16,3 @@ inline void PrefetchRead(const void* addr) {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_COMMON_PREFETCH_H_

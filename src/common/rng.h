@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_COMMON_RNG_H_
-#define BUFFERDB_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 
@@ -46,4 +45,3 @@ class Rng {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_COMMON_RNG_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_COMMON_STATUS_H_
-#define BUFFERDB_COMMON_STATUS_H_
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -28,29 +27,29 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status TypeError(std::string msg) {
+  [[nodiscard]] static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
 
@@ -100,4 +99,3 @@ class Result {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_COMMON_STATUS_H_

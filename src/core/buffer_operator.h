@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_CORE_BUFFER_OPERATOR_H_
-#define BUFFERDB_CORE_BUFFER_OPERATOR_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -30,7 +29,7 @@ class BufferOperator final : public Operator {
                           size_t buffer_size = kDefaultBufferSize,
                           bool copy_tuples = false);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -45,7 +44,7 @@ class BufferOperator final : public Operator {
   /// buffer fill, re-positioning just resets the array cursor — the child
   /// is not re-executed. Big win for nested-loop inner sides. Falls back to
   /// the default Close+Open re-execution otherwise.
-  Status Rescan() override;
+  [[nodiscard]] Status Rescan() override;
 
   const Schema& output_schema() const override {
     return child(0)->output_schema();
@@ -81,4 +80,3 @@ class BufferOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_CORE_BUFFER_OPERATOR_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_CORE_BUFFERED_INDEX_JOIN_H_
-#define BUFFERDB_CORE_BUFFERED_INDEX_JOIN_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -28,7 +27,7 @@ class BufferedIndexJoinOperator final : public Operator {
   BufferedIndexJoinOperator(OperatorPtr outer, const IndexInfo* index,
                             ExprPtr outer_key_expr, size_t batch_size = 1000);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -60,4 +59,3 @@ class BufferedIndexJoinOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_CORE_BUFFERED_INDEX_JOIN_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_CORE_EXECUTION_GROUP_H_
-#define BUFFERDB_CORE_EXECUTION_GROUP_H_
+#pragma once
 
 #include <bitset>
 #include <cstdint>
@@ -54,4 +53,3 @@ struct ExecutionGroup {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_CORE_EXECUTION_GROUP_H_

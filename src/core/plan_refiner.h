@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_CORE_PLAN_REFINER_H_
-#define BUFFERDB_CORE_PLAN_REFINER_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -100,4 +99,3 @@ class PlanRefiner {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_CORE_PLAN_REFINER_H_

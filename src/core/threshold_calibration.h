@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_CORE_THRESHOLD_CALIBRATION_H_
-#define BUFFERDB_CORE_THRESHOLD_CALIBRATION_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -42,4 +41,3 @@ ThresholdCalibrationResult CalibrateCardinalityThreshold(
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_CORE_THRESHOLD_CALIBRATION_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_AGGREGATION_H_
-#define BUFFERDB_EXEC_AGGREGATION_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -52,7 +51,7 @@ class AggregationOperator final : public Operator {
  public:
   AggregationOperator(OperatorPtr child, std::vector<AggSpec> specs);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -76,4 +75,3 @@ void AppendAggFuncs(AggFunc func, std::vector<sim::FuncId>* funcs);
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_AGGREGATION_H_

@@ -48,6 +48,8 @@ const uint8_t* DistinctOperator::Next() {
   while (const uint8_t* row = child(0)->Next()) {
     ctx_->ExecModule(module_id(), hot_funcs_);
     TupleView view(row, &schema);
+    // LINT: allow-alloc(distinct must materialize the seen-set; one
+    // encoded key per unique row, amortized by the hash table)
     auto [it, inserted] = seen_.insert(EncodeRow(view));
     ctx_->Touch(it->data(), it->size());
     if (inserted) return row;

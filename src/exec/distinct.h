@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_DISTINCT_H_
-#define BUFFERDB_EXEC_DISTINCT_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -15,7 +14,7 @@ class DistinctOperator final : public Operator {
  public:
   explicit DistinctOperator(OperatorPtr child);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -33,4 +32,3 @@ class DistinctOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_DISTINCT_H_

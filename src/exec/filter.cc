@@ -28,6 +28,7 @@ const uint8_t* FilterOperator::Next() {
 
 size_t FilterOperator::NextBatch(const uint8_t** out, size_t max) {
   const Schema& schema = child(0)->output_schema();
+  // LINT: allow-alloc(one-time staging growth; no-op once capacity == max)
   if (in_batch_.size() < max) in_batch_.resize(max);
   for (;;) {
     size_t in_n = child(0)->NextBatch(in_batch_.data(), max);

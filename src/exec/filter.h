@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_FILTER_H_
-#define BUFFERDB_EXEC_FILTER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -17,7 +16,7 @@ class FilterOperator final : public Operator {
  public:
   FilterOperator(OperatorPtr child, ExprPtr predicate);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -41,4 +40,3 @@ class FilterOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_FILTER_H_

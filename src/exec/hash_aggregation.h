@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_HASH_AGGREGATION_H_
-#define BUFFERDB_EXEC_HASH_AGGREGATION_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -35,7 +34,7 @@ class HashAggregationOperator final : public Operator {
   HashAggregationOperator(OperatorPtr child, std::vector<GroupKeyExpr> groups,
                           std::vector<AggSpec> specs);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -88,4 +87,3 @@ class HashAggregationOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_HASH_AGGREGATION_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_HASH_JOIN_H_
-#define BUFFERDB_EXEC_HASH_JOIN_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -29,7 +28,7 @@ class HashJoinOperator final : public Operator {
   HashJoinOperator(OperatorPtr probe, OperatorPtr build, ExprPtr probe_key,
                    ExprPtr build_key, ExprPtr residual_predicate = nullptr);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -84,4 +83,3 @@ class HashJoinOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_HASH_JOIN_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_INDEX_SCAN_H_
-#define BUFFERDB_EXEC_INDEX_SCAN_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -22,10 +21,10 @@ class IndexScanOperator final : public Operator {
   /// Switches to equality mode; effective after the next Rescan().
   void BindEqualKey(int64_t key);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
-  Status Rescan() override;
+  [[nodiscard]] Status Rescan() override;
 
   const Schema& output_schema() const override {
     return index_->table->schema();
@@ -49,4 +48,3 @@ class IndexScanOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_INDEX_SCAN_H_

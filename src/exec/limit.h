@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_LIMIT_H_
-#define BUFFERDB_EXEC_LIMIT_H_
+#pragma once
 
 #include <memory>
 
@@ -12,7 +11,7 @@ class LimitOperator final : public Operator {
  public:
   LimitOperator(OperatorPtr child, size_t limit, size_t offset = 0);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -31,4 +30,3 @@ class LimitOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_LIMIT_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_MATERIALIZE_H_
-#define BUFFERDB_EXEC_MATERIALIZE_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -15,10 +14,10 @@ class MaterializeOperator final : public Operator {
  public:
   explicit MaterializeOperator(OperatorPtr child);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
-  Status Rescan() override;
+  [[nodiscard]] Status Rescan() override;
 
   const Schema& output_schema() const override {
     return child(0)->output_schema();
@@ -39,4 +38,3 @@ class MaterializeOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_MATERIALIZE_H_

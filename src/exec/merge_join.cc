@@ -96,6 +96,7 @@ const uint8_t* MergeJoinOperator::Next() {
     group_key_ = left_key_value_;
     right_group_.clear();
     while (!right_done_ && right_key_value_ == group_key_) {
+      // LINT: allow-alloc(group gather; capacity reused across groups)
       right_group_.push_back(right_row_);
       if (!Fetch(1, &right_row_, &right_key_value_)) right_done_ = true;
     }

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_MERGE_JOIN_H_
-#define BUFFERDB_EXEC_MERGE_JOIN_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -19,7 +18,7 @@ class MergeJoinOperator final : public Operator {
   MergeJoinOperator(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
                     ExprPtr right_key);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -54,4 +53,3 @@ class MergeJoinOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_MERGE_JOIN_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_NESTED_LOOP_JOIN_H_
-#define BUFFERDB_EXEC_NESTED_LOOP_JOIN_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -19,7 +18,7 @@ class NestLoopJoinOperator final : public Operator {
   NestLoopJoinOperator(OperatorPtr outer, OperatorPtr inner,
                        ExprPtr join_predicate);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -47,7 +46,7 @@ class IndexNestLoopJoinOperator final : public Operator {
                             std::unique_ptr<IndexScanOperator> inner,
                             ExprPtr outer_key_expr);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -67,4 +66,3 @@ class IndexNestLoopJoinOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_NESTED_LOOP_JOIN_H_

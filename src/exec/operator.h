@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_OPERATOR_H_
-#define BUFFERDB_EXEC_OPERATOR_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -58,7 +57,7 @@ class Operator {
   Operator(const Operator&) = delete;
   Operator& operator=(const Operator&) = delete;
 
-  virtual Status Open(ExecContext* ctx) = 0;
+  [[nodiscard]] virtual Status Open(ExecContext* ctx) = 0;
   virtual const uint8_t* Next() = 0;
   virtual void Close() = 0;
 
@@ -78,7 +77,7 @@ class Operator {
 
   /// Re-positions at the beginning without releasing state. Default
   /// implementation is Close+Open.
-  virtual Status Rescan();
+  [[nodiscard]] virtual Status Rescan();
 
   virtual const Schema& output_schema() const = 0;
 
@@ -170,4 +169,3 @@ Result<std::vector<std::vector<Value>>> ExecutePlanRows(Operator* root,
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_OPERATOR_H_

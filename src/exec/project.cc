@@ -37,6 +37,7 @@ const uint8_t* ProjectOperator::Next() {
 }
 
 size_t ProjectOperator::NextBatch(const uint8_t** out, size_t max) {
+  // LINT: allow-alloc(one-time staging growth; no-op once capacity == max)
   if (in_batch_.size() < max) in_batch_.resize(max);
   size_t in_n = child(0)->NextBatch(in_batch_.data(), max);
   if (in_n == 0) {

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_PROJECT_H_
-#define BUFFERDB_EXEC_PROJECT_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -21,7 +20,7 @@ class ProjectOperator final : public Operator {
  public:
   ProjectOperator(OperatorPtr child, std::vector<ProjectItem> items);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -41,4 +40,3 @@ class ProjectOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_PROJECT_H_

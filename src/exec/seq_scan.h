@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_SEQ_SCAN_H_
-#define BUFFERDB_EXEC_SEQ_SCAN_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -24,10 +23,10 @@ class SeqScanOperator final : public Operator {
   /// `predicate` may be null. It must be bound to the table schema.
   SeqScanOperator(Table* table, ExprPtr predicate);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
-  Status Rescan() override;
+  [[nodiscard]] Status Rescan() override;
 
   /// Batch fast path: generates (and, with a predicate, filters) up to
   /// `max` rows in one tight loop over the table, writing survivors with a
@@ -61,4 +60,3 @@ class SeqScanOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_SEQ_SCAN_H_

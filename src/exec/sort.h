@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_SORT_H_
-#define BUFFERDB_EXEC_SORT_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -23,10 +22,10 @@ class SortOperator final : public Operator {
  public:
   SortOperator(OperatorPtr child, std::vector<SortKey> keys);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
-  Status Rescan() override;
+  [[nodiscard]] Status Rescan() override;
 
   const Schema& output_schema() const override {
     return child(0)->output_schema();
@@ -44,4 +43,3 @@ class SortOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_SORT_H_

@@ -71,6 +71,8 @@ const uint8_t* StreamAggregationOperator::Next() {
     if (group_open_ && !same_group) finished = EmitGroup();
     if (!same_group) {
       current_keys_ = keys;
+      // LINT: allow-alloc(per-group accumulator reset within reserved
+      // capacity; assign does not reallocate after the first group)
       accs_.assign(specs_.size(), AggAccumulator());
       group_open_ = true;
     }

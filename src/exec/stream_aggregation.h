@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_STREAM_AGGREGATION_H_
-#define BUFFERDB_EXEC_STREAM_AGGREGATION_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -21,7 +20,7 @@ class StreamAggregationOperator final : public Operator {
   StreamAggregationOperator(OperatorPtr child, std::vector<GroupKeyExpr> groups,
                             std::vector<AggSpec> specs);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -47,4 +46,3 @@ class StreamAggregationOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_STREAM_AGGREGATION_H_

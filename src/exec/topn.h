@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXEC_TOPN_H_
-#define BUFFERDB_EXEC_TOPN_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -17,7 +16,7 @@ class TopNOperator final : public Operator {
  public:
   TopNOperator(OperatorPtr child, std::vector<SortKey> keys, size_t limit);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -44,4 +43,3 @@ class TopNOperator final : public Operator {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXEC_TOPN_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXPR_EVALUATOR_H_
-#define BUFFERDB_EXPR_EVALUATOR_H_
+#pragma once
 
 #include "expr/expression.h"
 
@@ -27,4 +26,3 @@ ExprPtr FoldConstants(ExprPtr expr);
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXPR_EVALUATOR_H_

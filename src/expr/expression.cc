@@ -178,8 +178,17 @@ Value BinaryExpr::Evaluate(const TupleView& row) const {
 }
 
 std::string BinaryExpr::ToString() const {
-  return "(" + left_->ToString() + " " + BinaryOpName(op_) + " " +
-         right_->ToString() + ")";
+  // Built via append rather than operator+ chains: gcc 12's -Wrestrict
+  // false-fires on `const char* + std::string&&` at -O3 (GCC PR105651),
+  // and CI promotes warnings to errors.
+  std::string out = "(";
+  out += left_->ToString();
+  out += " ";
+  out += BinaryOpName(op_);
+  out += " ";
+  out += right_->ToString();
+  out += ")";
+  return out;
 }
 
 Value UnaryExpr::Evaluate(const TupleView& row) const {
@@ -202,10 +211,17 @@ Value UnaryExpr::Evaluate(const TupleView& row) const {
 
 std::string UnaryExpr::ToString() const {
   switch (op_) {
-    case UnaryOp::kNot:
-      return "NOT " + operand_->ToString();
-    case UnaryOp::kNegate:
-      return "-" + operand_->ToString();
+    case UnaryOp::kNot: {
+      // Append form for the same -Wrestrict reason as BinaryExpr::ToString.
+      std::string out = "NOT ";
+      out += operand_->ToString();
+      return out;
+    }
+    case UnaryOp::kNegate: {
+      std::string out = "-";
+      out += operand_->ToString();
+      return out;
+    }
     case UnaryOp::kIsNull:
       return operand_->ToString() + " IS NULL";
     case UnaryOp::kIsNotNull:

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_EXPR_EXPRESSION_H_
-#define BUFFERDB_EXPR_EXPRESSION_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -168,4 +167,3 @@ Result<ExprPtr> MakeUnary(UnaryOp op, ExprPtr operand);
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_EXPR_EXPRESSION_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_INDEX_BTREE_H_
-#define BUFFERDB_INDEX_BTREE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -65,4 +64,3 @@ class BTree {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_INDEX_BTREE_H_

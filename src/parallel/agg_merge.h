@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PARALLEL_AGG_MERGE_H_
-#define BUFFERDB_PARALLEL_AGG_MERGE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -31,7 +30,7 @@ class AggregateMergeOperator final : public Operator {
   /// rows matching MakePartialAggSpecs(specs).
   AggregateMergeOperator(OperatorPtr child, std::vector<AggSpec> specs);
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -52,4 +51,3 @@ class AggregateMergeOperator final : public Operator {
 
 }  // namespace bufferdb::parallel
 
-#endif  // BUFFERDB_PARALLEL_AGG_MERGE_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PARALLEL_EXCHANGE_H_
-#define BUFFERDB_PARALLEL_EXCHANGE_H_
+#pragma once
 
 #include <future>
 #include <memory>
@@ -53,7 +52,7 @@ class ExchangeOperator final : public Operator {
                    size_t queue_batches = kDefaultQueueBatches);
   ~ExchangeOperator() override;
 
-  Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
   const uint8_t* Next() override;
   void Close() override;
 
@@ -71,7 +70,7 @@ class ExchangeOperator final : public Operator {
   /// First error raised by a worker fragment (fragment Open failure or an
   /// exception). Next() ends the stream early on error; callers that need
   /// to distinguish "empty" from "failed" check this after draining.
-  Status error() const;
+  [[nodiscard]] Status error() const;
 
   /// Gives every fragment its own SimCpu (instead of none) so the simulated
   /// counters can be inspected per worker without racing on the consumer's
@@ -111,4 +110,3 @@ class ExchangeOperator final : public Operator {
 
 }  // namespace bufferdb::parallel
 
-#endif  // BUFFERDB_PARALLEL_EXCHANGE_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PARALLEL_MORSEL_H_
-#define BUFFERDB_PARALLEL_MORSEL_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -60,4 +59,3 @@ class MorselCursor {
 
 }  // namespace bufferdb::parallel
 
-#endif  // BUFFERDB_PARALLEL_MORSEL_H_

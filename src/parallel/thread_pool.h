@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PARALLEL_THREAD_POOL_H_
-#define BUFFERDB_PARALLEL_THREAD_POOL_H_
+#pragma once
 
 #include <condition_variable>
 #include <deque>
@@ -53,4 +52,3 @@ class ThreadPool {
 
 }  // namespace bufferdb::parallel
 
-#endif  // BUFFERDB_PARALLEL_THREAD_POOL_H_

@@ -1,6 +1,6 @@
-#ifndef BUFFERDB_PARALLEL_TUPLE_QUEUE_H_
-#define BUFFERDB_PARALLEL_TUPLE_QUEUE_H_
+#pragma once
 
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,8 +9,8 @@
 
 namespace bufferdb::parallel {
 
-/// Bounded multi-producer single-consumer queue of tuple-pointer batches —
-/// the merge side of an ExchangeOperator.
+/// Bounded multi-producer queue of tuple-pointer batches — the merge side
+/// of an ExchangeOperator.
 ///
 /// Rows travel as batches (vectors of row pointers) so producers take the
 /// lock once per batch, not once per tuple; this is the same
@@ -18,6 +18,27 @@ namespace bufferdb::parallel {
 /// operator, applied to the thread boundary. The bound provides
 /// back-pressure: workers stall instead of materializing an unbounded
 /// result when the consumer is slow.
+///
+/// ## Shutdown protocol
+///
+/// Every transition is defined under arbitrary producer/consumer
+/// concurrency; all entry points may race freely (tuple_queue_test hammers
+/// every pairing under TSan):
+///
+///   - `ProducerDone()`  normal end: each registered producer calls it
+///     exactly once; after the last one, Pop() drains the queue and then
+///     returns false.
+///   - `Close()`         graceful stop: new Push() calls are rejected
+///     (return false) and blocked pushers wake and return false, but
+///     batches already queued stay poppable — nothing delivered is lost.
+///   - `Cancel()`        abandon: like Close(), and additionally drops all
+///     queued batches so Pop() fails immediately — used when the consumer
+///     walks away from the query and row pointers are about to die with
+///     its arena.
+///
+/// A Push() racing any of the three either fully delivers its batch (a
+/// later Pop can observe it, unless a Cancel drops it) or returns false
+/// having delivered nothing; there is no partial/limbo state.
 class TupleQueue {
  public:
   using Batch = std::vector<const uint8_t*>;
@@ -28,7 +49,8 @@ class TupleQueue {
   TupleQueue& operator=(const TupleQueue&) = delete;
 
   /// Registers a producer; every producer must eventually call
-  /// ProducerDone exactly once.
+  /// ProducerDone exactly once. Must not race the last ProducerDone (the
+  /// Exchange registers all producers before submitting any worker).
   void AddProducer() {
     std::lock_guard<std::mutex> lock(mu_);
     ++producers_;
@@ -37,33 +59,37 @@ class TupleQueue {
   void ProducerDone() {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      assert(producers_ > 0 && "ProducerDone without matching AddProducer");
       --producers_;
     }
     not_empty_.notify_all();
   }
 
-  /// Blocks while the queue is full. Returns false if the queue was
-  /// cancelled (consumer abandoned the query) — the producer should stop.
+  /// Blocks while the queue is full and accepting. Returns false if the
+  /// queue was closed or cancelled — the batch was NOT enqueued and the
+  /// producer should stop; true means the batch is visible to Pop().
   bool Push(Batch batch) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [this] {
-      return cancelled_ || queue_.size() < max_batches_;
+      return closed_ || queue_.size() < max_batches_;
     });
-    if (cancelled_) return false;
+    if (closed_) return false;
     queue_.push_back(std::move(batch));
     lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
-  /// Blocks until a batch is available or every producer is done. Returns
-  /// false when the stream is exhausted (or cancelled).
+  /// Blocks until a batch is available or the stream ended. Returns false
+  /// when exhausted: the queue is empty and no producer can still fill it
+  /// (every producer done, or pushes are being rejected after
+  /// Close()/Cancel()).
   bool Pop(Batch* batch) {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] {
-      return cancelled_ || !queue_.empty() || producers_ == 0;
+      return !queue_.empty() || producers_ == 0 || closed_;
     });
-    if (cancelled_ || queue_.empty()) return false;
+    if (queue_.empty()) return false;
     *batch = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
@@ -71,11 +97,28 @@ class TupleQueue {
     return true;
   }
 
-  /// Unblocks every producer and consumer; subsequent pushes/pops fail.
-  void Cancel() {
+  /// Graceful stop: rejects future (and wakes blocked) pushes, keeps
+  /// already-queued batches poppable. Idempotent; may race Cancel().
+  void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      cancelled_ = true;
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Abandon: Close() plus dropping every queued batch, so consumers fail
+  /// fast and row pointers owned by a dying arena are never handed out.
+  /// Idempotent.
+  void Cancel() {
+    std::deque<Batch> discarded;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      // Swap under the lock, destroy after unlock: batch destructors can
+      // be arbitrarily expensive and nothing blocked needs to wait on them.
+      discarded.swap(queue_);
     }
     not_full_.notify_all();
     not_empty_.notify_all();
@@ -83,16 +126,20 @@ class TupleQueue {
 
   size_t max_batches() const { return max_batches_; }
 
+  /// True once Close() or Cancel() was called (pushes are being rejected).
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
  private:
   const size_t max_batches_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Batch> queue_;
   size_t producers_ = 0;
-  bool cancelled_ = false;
+  bool closed_ = false;
 };
 
 }  // namespace bufferdb::parallel
-
-#endif  // BUFFERDB_PARALLEL_TUPLE_QUEUE_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PLAN_CARDINALITY_H_
-#define BUFFERDB_PLAN_CARDINALITY_H_
+#pragma once
 
 #include "expr/expression.h"
 #include "storage/table.h"
@@ -19,4 +18,3 @@ double EstimateEquiJoinRows(double left_rows, double right_rows,
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_PLAN_CARDINALITY_H_

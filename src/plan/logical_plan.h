@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PLAN_LOGICAL_PLAN_H_
-#define BUFFERDB_PLAN_LOGICAL_PLAN_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -59,4 +58,3 @@ struct LogicalQuery {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_PLAN_LOGICAL_PLAN_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PLAN_PHYSICAL_PLANNER_H_
-#define BUFFERDB_PLAN_PHYSICAL_PLANNER_H_
+#pragma once
 
 #include <memory>
 
@@ -100,4 +99,3 @@ class PhysicalPlanner {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_PLAN_PHYSICAL_PLANNER_H_

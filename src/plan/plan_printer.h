@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PLAN_PLAN_PRINTER_H_
-#define BUFFERDB_PLAN_PLAN_PRINTER_H_
+#pragma once
 
 #include <string>
 
@@ -16,4 +15,3 @@ std::string PrintPlan(const Operator& root, bool show_footprints = true);
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_PLAN_PLAN_PRINTER_H_

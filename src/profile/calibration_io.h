@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PROFILE_CALIBRATION_IO_H_
-#define BUFFERDB_PROFILE_CALIBRATION_IO_H_
+#pragma once
 
 #include <string>
 
@@ -22,7 +21,7 @@ struct SystemCalibration {
 ///   threshold 128
 ///   module Scan exec_common scan_core
 ///   ...
-Status SaveCalibration(const SystemCalibration& calibration,
+[[nodiscard]] Status SaveCalibration(const SystemCalibration& calibration,
                        const std::string& path);
 
 /// Loads a calibration saved by SaveCalibration. Unknown function or module
@@ -35,4 +34,3 @@ Result<SystemCalibration> CalibrateAndSave(const std::string& path);
 
 }  // namespace bufferdb::profile
 
-#endif  // BUFFERDB_PROFILE_CALIBRATION_IO_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PROFILE_CALIBRATION_QUERIES_H_
-#define BUFFERDB_PROFILE_CALIBRATION_QUERIES_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -27,4 +26,3 @@ FootprintTable CalibrateFootprints();
 
 }  // namespace bufferdb::profile
 
-#endif  // BUFFERDB_PROFILE_CALIBRATION_QUERIES_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PROFILE_CALL_GRAPH_H_
-#define BUFFERDB_PROFILE_CALL_GRAPH_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -52,4 +51,3 @@ class CallGraphRecorder final : public sim::CallGraphSink {
 
 }  // namespace bufferdb::profile
 
-#endif  // BUFFERDB_PROFILE_CALL_GRAPH_H_

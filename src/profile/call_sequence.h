@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PROFILE_CALL_SEQUENCE_H_
-#define BUFFERDB_PROFILE_CALL_SEQUENCE_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -54,4 +53,3 @@ class CallSequenceRecorder final : public sim::CallGraphSink {
 
 }  // namespace bufferdb::profile
 
-#endif  // BUFFERDB_PROFILE_CALL_SEQUENCE_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_PROFILE_FOOTPRINT_H_
-#define BUFFERDB_PROFILE_FOOTPRINT_H_
+#pragma once
 
 #include <array>
 #include <span>
@@ -55,4 +54,3 @@ class FootprintTable {
 
 }  // namespace bufferdb::profile
 
-#endif  // BUFFERDB_PROFILE_FOOTPRINT_H_

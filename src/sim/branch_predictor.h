@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_SIM_BRANCH_PREDICTOR_H_
-#define BUFFERDB_SIM_BRANCH_PREDICTOR_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -49,4 +48,3 @@ class BranchPredictor {
 
 }  // namespace bufferdb::sim
 
-#endif  // BUFFERDB_SIM_BRANCH_PREDICTOR_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_SIM_CACHE_H_
-#define BUFFERDB_SIM_CACHE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -154,4 +153,3 @@ class Itlb {
 
 }  // namespace bufferdb::sim
 
-#endif  // BUFFERDB_SIM_CACHE_H_

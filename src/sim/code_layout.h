@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_SIM_CODE_LAYOUT_H_
-#define BUFFERDB_SIM_CODE_LAYOUT_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -147,4 +146,3 @@ bool FuncIdFromName(const std::string& name, FuncId* out);
 
 }  // namespace bufferdb::sim
 
-#endif  // BUFFERDB_SIM_CODE_LAYOUT_H_

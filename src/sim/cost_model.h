@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_SIM_COST_MODEL_H_
-#define BUFFERDB_SIM_COST_MODEL_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -104,4 +103,3 @@ struct CycleBreakdown {
 
 }  // namespace bufferdb::sim
 
-#endif  // BUFFERDB_SIM_COST_MODEL_H_

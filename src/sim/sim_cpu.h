@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_SIM_SIM_CPU_H_
-#define BUFFERDB_SIM_SIM_CPU_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -103,4 +102,3 @@ class SimCpu {
 
 }  // namespace bufferdb::sim
 
-#endif  // BUFFERDB_SIM_SIM_CPU_H_

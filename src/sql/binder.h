@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_SQL_BINDER_H_
-#define BUFFERDB_SQL_BINDER_H_
+#pragma once
 
 #include "catalog/catalog.h"
 #include "plan/logical_plan.h"
@@ -32,4 +31,3 @@ class Binder {
 
 }  // namespace bufferdb::sql
 
-#endif  // BUFFERDB_SQL_BINDER_H_

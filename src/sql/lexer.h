@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_SQL_LEXER_H_
-#define BUFFERDB_SQL_LEXER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -32,4 +31,3 @@ Result<std::vector<Token>> Tokenize(const std::string& sql);
 
 }  // namespace bufferdb::sql
 
-#endif  // BUFFERDB_SQL_LEXER_H_

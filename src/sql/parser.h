@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_SQL_PARSER_H_
-#define BUFFERDB_SQL_PARSER_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -74,4 +73,3 @@ Result<SelectStatement> ParseSelect(const std::string& sql);
 
 }  // namespace bufferdb::sql
 
-#endif  // BUFFERDB_SQL_PARSER_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_STORAGE_TABLE_H_
-#define BUFFERDB_STORAGE_TABLE_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -65,4 +64,3 @@ class Table {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_STORAGE_TABLE_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_STORAGE_TUPLE_H_
-#define BUFFERDB_STORAGE_TUPLE_H_
+#pragma once
 
 #include <cstdint>
 #include <cstring>
@@ -114,4 +113,3 @@ class TupleBuilder {
 
 }  // namespace bufferdb
 
-#endif  // BUFFERDB_STORAGE_TUPLE_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_TPCH_TBL_IO_H_
-#define BUFFERDB_TPCH_TBL_IO_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -12,7 +11,7 @@ namespace bufferdb::tpch {
 /// Writes a table in the classic dbgen `.tbl` format: '|'-separated fields,
 /// one trailing '|' per row. Dates render as YYYY-MM-DD, doubles with two
 /// decimals (dbgen's money format), NULLs as empty fields.
-Status WriteTbl(const Table& table, const std::string& path);
+[[nodiscard]] Status WriteTbl(const Table& table, const std::string& path);
 
 /// Reads a `.tbl` file into a new table with the given name and schema.
 /// Empty fields load as NULL.
@@ -22,4 +21,3 @@ Result<std::unique_ptr<Table>> ReadTbl(const std::string& table_name,
 
 }  // namespace bufferdb::tpch
 
-#endif  // BUFFERDB_TPCH_TBL_IO_H_

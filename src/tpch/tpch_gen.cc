@@ -147,7 +147,8 @@ Status LoadTpch(const TpchConfig& config, Catalog* catalog) {
     TupleBuilder b(&table->schema());
     for (int64_t i = 1; i <= num_parts; ++i) {
       b.Reset();
-      double price = 900.0 + (i % 1000) + rng.NextDouble() * 100.0;
+      double price =
+          900.0 + static_cast<double>(i % 1000) + rng.NextDouble() * 100.0;
       part_price[i] = price;
       b.SetInt64(0, i);
       b.SetString(1, NumberedName("part", i));

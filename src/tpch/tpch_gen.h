@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_TPCH_TPCH_GEN_H_
-#define BUFFERDB_TPCH_TPCH_GEN_H_
+#pragma once
 
 #include <cstdint>
 
@@ -24,11 +23,10 @@ struct TpchConfig {
 };
 
 /// Generates all 8 tables (and indexes) into `catalog`.
-Status LoadTpch(const TpchConfig& config, Catalog* catalog);
+[[nodiscard]] Status LoadTpch(const TpchConfig& config, Catalog* catalog);
 
 /// Number of orders at a scale factor (lineitem is ~4x this).
 int64_t NumOrders(double scale_factor);
 
 }  // namespace bufferdb::tpch
 
-#endif  // BUFFERDB_TPCH_TPCH_GEN_H_

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_TPCH_TPCH_SCHEMA_H_
-#define BUFFERDB_TPCH_TPCH_SCHEMA_H_
+#pragma once
 
 #include "catalog/schema.h"
 
@@ -20,4 +19,3 @@ Schema LineitemSchema();
 
 }  // namespace bufferdb::tpch
 
-#endif  // BUFFERDB_TPCH_TPCH_SCHEMA_H_

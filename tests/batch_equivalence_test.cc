@@ -99,8 +99,12 @@ class BatchEquivalenceTest : public ::testing::TestWithParam<size_t> {
   // parameterized width against the tuple-at-a-time output.
   template <typename Factory>
   void CheckEquivalent(Factory factory) {
-    OperatorPtr tuple_plan = factory();
-    OperatorPtr batch_plan = factory();
+    // Both plans go through the contract checker: in Debug builds every
+    // operator pairing in this suite also asserts the Open/Next/Close state
+    // machine and poisons stale batch slices; in Release the wrapper
+    // compiles away.
+    OperatorPtr tuple_plan = testutil::ContractChecked(factory());
+    OperatorPtr batch_plan = testutil::ContractChecked(factory());
     ExpectSameRows(RunPlan(tuple_plan.get()),
                    RunPlanBatched(batch_plan.get(), batch()));
   }

@@ -1,0 +1,32 @@
+// Companion TU for contract_check_test.cc: force-DISABLES contract
+// checking, proving BUFFERDB_WRAP_CONTRACT_CHECKED compiles to the identity
+// expression — the Release hot path pays zero overhead (no wrapper object,
+// no virtual hop, no state bytes).
+#ifdef BUFFERDB_CHECK_CONTRACTS
+#undef BUFFERDB_CHECK_CONTRACTS
+#endif
+#include "exec/contract_check.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "exec/seq_scan.h"
+#include "test_util.h"
+
+namespace bufferdb {
+namespace {
+
+TEST(ContractCheckReleaseTest, MacroIsIdentityWhenDisabled) {
+  auto table = testutil::MakeKvTable("t", {{1, 1.0}});
+  auto scan = std::make_unique<SeqScanOperator>(table.get(), nullptr);
+  Operator* raw = scan.get();
+  OperatorPtr out = BUFFERDB_WRAP_CONTRACT_CHECKED(std::move(scan));
+  // Same object comes back: nothing was allocated, nothing wraps the plan.
+  EXPECT_EQ(out.get(), raw);
+  EXPECT_EQ(dynamic_cast<ContractCheckedOperator*>(out.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace bufferdb

@@ -1,0 +1,183 @@
+// Tests for the ContractCheckedOperator debug wrapper (DESIGN.md section 9.2).
+//
+// This translation unit force-enables checking regardless of build type, so
+// every violation class is exercised in Release CI too; the companion TU
+// contract_check_release_ut.cc force-disables it and proves the wrapper
+// macro compiles out to the identity expression.
+#ifndef BUFFERDB_CHECK_CONTRACTS
+#define BUFFERDB_CHECK_CONTRACTS
+#endif
+#include "exec/contract_check.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/seq_scan.h"
+#include "test_util.h"
+
+namespace bufferdb {
+namespace {
+
+// Minimal well-behaved operator: emits `rows` copies of a static payload.
+// Self-contained so the wrapper tests do not depend on scan internals.
+class CountingOp final : public Operator {
+ public:
+  explicit CountingOp(size_t rows, bool fail_open = false)
+      : schema_({{"k", DataType::kInt64}}),
+        rows_(rows),
+        fail_open_(fail_open) {}
+
+  [[nodiscard]] Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    emitted_ = 0;
+    if (fail_open_) return Status::Internal("CountingOp told to fail Open");
+    return Status::OK();
+  }
+  const uint8_t* Next() override {
+    if (emitted_ >= rows_) return nullptr;
+    ++emitted_;
+    return payload_;
+  }
+  void Close() override {}
+  const Schema& output_schema() const override { return schema_; }
+  sim::ModuleId module_id() const override { return sim::ModuleId::kSeqScan; }
+
+ private:
+  Schema schema_;
+  size_t rows_;
+  bool fail_open_;
+  size_t emitted_ = 0;
+  uint8_t payload_[8] = {0};
+};
+
+OperatorPtr Checked(size_t rows, bool fail_open = false) {
+  return std::make_unique<ContractCheckedOperator>(
+      std::make_unique<CountingOp>(rows, fail_open));
+}
+
+TEST(ContractCheckTest, NextBeforeOpenThrows) {
+  auto op = Checked(3);
+  EXPECT_THROW(op->Next(), ContractViolation);
+}
+
+TEST(ContractCheckTest, NextBatchBeforeOpenThrows) {
+  auto op = Checked(3);
+  const uint8_t* out[4];
+  EXPECT_THROW(op->NextBatch(out, 4), ContractViolation);
+}
+
+TEST(ContractCheckTest, RescanBeforeOpenThrows) {
+  auto op = Checked(3);
+  EXPECT_THROW({ Status st = op->Rescan(); (void)st; }, ContractViolation);
+}
+
+TEST(ContractCheckTest, CloseBeforeOpenThrows) {
+  auto op = Checked(3);
+  EXPECT_THROW(op->Close(), ContractViolation);
+}
+
+TEST(ContractCheckTest, UseAfterCloseThrows) {
+  auto op = Checked(3);
+  ExecContext ctx;
+  ASSERT_TRUE(op->Open(&ctx).ok());
+  op->Close();
+  EXPECT_THROW(op->Next(), ContractViolation);
+  const uint8_t* out[4];
+  EXPECT_THROW(op->NextBatch(out, 4), ContractViolation);
+  EXPECT_THROW({ Status st = op->Rescan(); (void)st; }, ContractViolation);
+}
+
+TEST(ContractCheckTest, DoubleOpenThrows) {
+  auto op = Checked(3);
+  ExecContext ctx;
+  ASSERT_TRUE(op->Open(&ctx).ok());
+  EXPECT_THROW({ Status st = op->Open(&ctx); (void)st; }, ContractViolation);
+  op->Close();
+}
+
+TEST(ContractCheckTest, DoubleCloseThrows) {
+  auto op = Checked(3);
+  ExecContext ctx;
+  ASSERT_TRUE(op->Open(&ctx).ok());
+  op->Close();
+  EXPECT_THROW(op->Close(), ContractViolation);
+}
+
+TEST(ContractCheckTest, ReopenAfterCloseIsLegal) {
+  auto op = Checked(2);
+  ExecContext ctx;
+  ASSERT_TRUE(op->Open(&ctx).ok());
+  EXPECT_NE(op->Next(), nullptr);
+  op->Close();
+  ASSERT_TRUE(op->Open(&ctx).ok());
+  EXPECT_NE(op->Next(), nullptr);
+  op->Close();
+}
+
+TEST(ContractCheckTest, FailedOpenDoesNotOpen) {
+  auto op = Checked(3, /*fail_open=*/true);
+  ExecContext ctx;
+  Status st = op->Open(&ctx);
+  EXPECT_FALSE(st.ok());
+  // The operator never reached the open state, so pulling is a violation.
+  EXPECT_THROW(op->Next(), ContractViolation);
+}
+
+TEST(ContractCheckTest, StaleBatchSliceIsPoisoned) {
+  auto op = Checked(8);
+  ExecContext ctx;
+  ASSERT_TRUE(op->Open(&ctx).ok());
+
+  const uint8_t* out[4] = {nullptr, nullptr, nullptr, nullptr};
+  size_t n1 = op->NextBatch(out, 4);
+  ASSERT_EQ(n1, 4u);
+  const uint8_t* live = out[0];
+  EXPECT_NE(live, ContractCheckedOperator::PoisonPointer());
+
+  // The second transfer call must poison the previous slice in place:
+  // anyone still reading the old out[] entries sees the poison pointer,
+  // not a stale (reused) row.
+  const uint8_t* out2[4];
+  size_t n2 = op->NextBatch(out2, 4);
+  ASSERT_EQ(n2, 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i], ContractCheckedOperator::PoisonPointer())
+        << "stale slice entry " << i << " was not poisoned";
+  }
+  op->Close();
+}
+
+TEST(ContractCheckTest, NextAlsoPoisonsPreviousSlice) {
+  auto op = Checked(8);
+  ExecContext ctx;
+  ASSERT_TRUE(op->Open(&ctx).ok());
+  const uint8_t* out[2] = {nullptr, nullptr};
+  ASSERT_EQ(op->NextBatch(out, 2), 2u);
+  EXPECT_NE(op->Next(), nullptr);
+  EXPECT_EQ(out[0], ContractCheckedOperator::PoisonPointer());
+  EXPECT_EQ(out[1], ContractCheckedOperator::PoisonPointer());
+  op->Close();
+}
+
+TEST(ContractCheckTest, WrappedPlanProducesSameRows) {
+  auto table = testutil::MakeKvTable("t", {{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  auto scan = std::make_unique<SeqScanOperator>(table.get(), nullptr);
+  OperatorPtr wrapped = BUFFERDB_WRAP_CONTRACT_CHECKED(std::move(scan));
+  EXPECT_EQ(wrapped->label(), "ContractChecked(" +
+                                  wrapped->child(0)->label() + ")");
+  auto rows = testutil::RunPlan(wrapped.get());
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(ContractCheckTest, MacroWrapsWhenCheckingEnabled) {
+  // This TU defines BUFFERDB_CHECK_CONTRACTS, so the macro must wrap.
+  OperatorPtr op = BUFFERDB_WRAP_CONTRACT_CHECKED(
+      std::make_unique<CountingOp>(1));
+  EXPECT_NE(dynamic_cast<ContractCheckedOperator*>(op.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace bufferdb

@@ -1,5 +1,4 @@
-#ifndef BUFFERDB_TESTS_TEST_UTIL_H_
-#define BUFFERDB_TESTS_TEST_UTIL_H_
+#pragma once
 
 #include <gtest/gtest.h>
 
@@ -8,11 +7,22 @@
 #include <string>
 #include <vector>
 
+#include "exec/contract_check.h"
 #include "exec/operator.h"
 #include "expr/expression.h"
 #include "storage/table.h"
 
 namespace bufferdb::testutil {
+
+/// Wraps a plan root in the Operator state-machine contract checker
+/// (DESIGN.md section 9.2) in checking builds — Debug or
+/// -DBUFFERDB_CHECK_CONTRACTS=ON — and is the identity otherwise.
+/// `static`, not `inline`: BUFFERDB_WRAP_CONTRACT_CHECKED expands per
+/// translation unit (contract_check_test force-toggles it both ways in one
+/// binary), so the function must have internal linkage to stay ODR-clean.
+[[maybe_unused]] static OperatorPtr ContractChecked(OperatorPtr op) {
+  return BUFFERDB_WRAP_CONTRACT_CHECKED(std::move(op));
+}
 
 /// Two-column (k INT64, v DOUBLE) table from (k, v) pairs.
 inline std::unique_ptr<Table> MakeKvTable(
@@ -66,4 +76,3 @@ inline std::vector<std::string> Canonical(
 
 }  // namespace bufferdb::testutil
 
-#endif  // BUFFERDB_TESTS_TEST_UTIL_H_
