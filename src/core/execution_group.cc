@@ -40,7 +40,10 @@ std::string ExecutionGroup::ToString() const {
     if (i > 0) out += " + ";
     out += op_labels[i];
   }
-  out += "] footprint=" + std::to_string(funcs.TotalBytes()) + "B";
+  // Append-form to dodge gcc 12's -O3 -Wrestrict false positive (PR105651).
+  out += "] footprint=";
+  out += std::to_string(funcs.TotalBytes());
+  out += "B";
   if (buffered) out += " (buffered)";
   return out;
 }

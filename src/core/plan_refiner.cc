@@ -9,7 +9,11 @@ std::string RefinementReport::ToString() const {
   std::string out = "execution groups (" + std::to_string(groups.size()) +
                     "), buffers added: " + std::to_string(buffers_added) + "\n";
   for (const ExecutionGroup& g : groups) {
-    out += "  " + g.ToString() + "\n";
+    // Append-form to dodge gcc 12's -O3 -Wrestrict false positive
+    // (PR105651).
+    out += "  ";
+    out += g.ToString();
+    out += "\n";
   }
   return out;
 }
@@ -78,7 +82,11 @@ PlanRefiner::RecResult PlanRefiner::RefineRec(OperatorPtr op,
   // Try to enlarge the children's open groups with this operator.
   if (options_.merge_execution_groups) {
     FuncSet merged;
-    merged.AddAll(op->hot_funcs());
+    // Batched plans run compiled kernel programs where available, so the
+    // instruction working set the refiner must pack into L1-I is the
+    // (smaller) batched one.
+    merged.AddAll(options_.batch_size > 1 ? op->hot_funcs_batched()
+                                          : op->hot_funcs());
     if (options_.assume_static_footprints) {
       merged.AddAll(sim::StaticOnlyFuncs());
     }
@@ -116,7 +124,8 @@ PlanRefiner::RecResult PlanRefiner::RefineRec(OperatorPtr op,
     }
   }
   OpenGroup group;
-  group.funcs.AddAll(op->hot_funcs());
+  group.funcs.AddAll(options_.batch_size > 1 ? op->hot_funcs_batched()
+                                             : op->hot_funcs());
   if (options_.assume_static_footprints) {
     group.funcs.AddAll(sim::StaticOnlyFuncs());
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "expr/evaluator.h"
 #include "storage/tuple.h"
 
 namespace bufferdb {
@@ -127,7 +128,11 @@ AggregationOperator::AggregationOperator(OperatorPtr child,
   AddChild(std::move(child));
   InitHotFuncs(module_id());
   std::vector<Column> cols;
-  for (const AggSpec& spec : specs_) {
+  for (AggSpec& spec : specs_) {
+    // Fold at plan time: programmatically-built plans bypass the binder's
+    // folding pass, so constant subtrees in aggregate arguments (e.g.
+    // price * (1 - 0.1)) would otherwise be re-evaluated per tuple.
+    if (spec.arg != nullptr) spec.arg = FoldConstants(std::move(spec.arg));
     AppendAggFuncs(spec.func, &hot_funcs_);
     DataType arg_type =
         spec.arg != nullptr ? spec.arg->result_type() : DataType::kInt64;
@@ -179,7 +184,13 @@ std::string AggregationOperator::label() const {
   for (size_t i = 0; i < specs_.size(); ++i) {
     if (i > 0) out += ", ";
     out += AggFuncName(specs_[i].func);
-    if (specs_[i].arg != nullptr) out += "(" + specs_[i].arg->ToString() + ")";
+    if (specs_[i].arg != nullptr) {
+      // Append-form (not `"(" + s + ")"`) to dodge gcc 12's -O3 -Wrestrict
+      // false positive (PR105651).
+      out += "(";
+      out += specs_[i].arg->ToString();
+      out += ")";
+    }
   }
   out += ")";
   return out;

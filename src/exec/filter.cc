@@ -6,9 +6,11 @@
 namespace bufferdb {
 
 FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate)
-    : predicate_(std::move(predicate)) {
+    : predicate_(FoldConstants(std::move(predicate))) {
   AddChild(std::move(child));
   InitHotFuncs(module_id());
+  compiled_ = CompiledExpr::Compile(*predicate_, this->child(0)->output_schema());
+  if (compiled_ != nullptr) SetVectorBatchFuncs();
 }
 
 Status FilterOperator::Open(ExecContext* ctx) {
@@ -30,18 +32,31 @@ size_t FilterOperator::NextBatch(const uint8_t** out, size_t max) {
   const Schema& schema = child(0)->output_schema();
   // LINT: allow-alloc(one-time staging growth; no-op once capacity == max)
   if (in_batch_.size() < max) in_batch_.resize(max);
+  const bool vectorized = compiled_ != nullptr && vectorized_eval_;
   for (;;) {
     size_t in_n = child(0)->NextBatch(in_batch_.data(), max);
     if (in_n == 0) {
-      ctx_->ExecModule(module_id(), hot_funcs_);  // End-of-stream.
+      ctx_->ExecModule(module_id(), hot_funcs_batched());  // End-of-stream.
       return 0;
     }
     size_t n = 0;
-    for (size_t i = 0; i < in_n; ++i) {
-      ctx_->ExecModule(module_id(), hot_funcs_);
-      const uint8_t* row = in_batch_[i];
-      out[n] = row;
-      n += EvaluatePredicate(*predicate_, TupleView(row, &schema)) ? 1 : 0;
+    if (vectorized) {
+      RowBatchDecoder::Decode(in_batch_.data(), in_n, schema,
+                              compiled_->input_columns(), &vbatch_);
+      compiled_->RunFilter(vbatch_, &sel_);
+      for (size_t i = 0; i < in_n; ++i) {
+        ctx_->ExecModule(module_id(), hot_funcs_batched());
+      }
+      n = sel_.count;
+      for (size_t k = 0; k < n; ++k) out[k] = in_batch_[sel_.idx[k]];
+    } else {
+      for (size_t i = 0; i < in_n; ++i) {
+        ctx_->ExecModule(module_id(), hot_funcs_);
+        const uint8_t* row = in_batch_[i];
+        out[n] = row;
+        // LINT: allow-scalar-eval(fallback: predicate did not compile)
+        n += EvaluatePredicate(*predicate_, TupleView(row, &schema)) ? 1 : 0;
+      }
     }
     if (n > 0) return n;
     // Every row of this batch was filtered out; pull the next one.

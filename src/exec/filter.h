@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/row_batch_decoder.h"
 #include "expr/expression.h"
+#include "expr/vector_eval.h"
 
 namespace bufferdb {
 
@@ -20,9 +22,12 @@ class FilterOperator final : public Operator {
   const uint8_t* Next() override;
   void Close() override;
 
-  /// Batch fast path: pulls whole batches from the child and writes the
-  /// survivors with a branch-free selection loop (the output cursor
-  /// advances by the predicate result, so the store itself never branches).
+  /// Batch fast path: pulls whole batches from the child. When the predicate
+  /// compiled to a kernel program, it is evaluated column-at-a-time into a
+  /// selection vector (decode → RunFilter → gather survivors); otherwise the
+  /// per-tuple interpreter runs with a branch-free selection loop (the
+  /// output cursor advances by the predicate result, so the store itself
+  /// never branches).
   size_t NextBatch(const uint8_t** out, size_t max) override;
 
   const Schema& output_schema() const override {
@@ -33,10 +38,15 @@ class FilterOperator final : public Operator {
 
   const Expression& predicate() const { return *predicate_; }
 
+  /// Non-null when the predicate compiled to a kernel program (test hook).
+  const CompiledExpr* compiled_predicate() const { return compiled_.get(); }
+
  private:
   ExprPtr predicate_;
-  std::vector<const uint8_t*> in_batch_;  // NextBatch scratch.
+  std::unique_ptr<CompiledExpr> compiled_;  // Compiled once, at plan time.
+  std::vector<const uint8_t*> in_batch_;    // NextBatch scratch.
+  VectorBatch vbatch_;
+  SelectionVector sel_;
 };
 
 }  // namespace bufferdb
-

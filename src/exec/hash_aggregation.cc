@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/prefetch.h"
+#include "expr/evaluator.h"
 #include "storage/tuple.h"
 
 namespace bufferdb {
@@ -50,16 +51,53 @@ HashAggregationOperator::HashAggregationOperator(OperatorPtr child,
   AddChild(std::move(child));
   InitHotFuncs(module_id());
   std::vector<Column> cols;
-  for (const GroupKeyExpr& g : groups_) {
+  for (GroupKeyExpr& g : groups_) {
+    g.expr = FoldConstants(std::move(g.expr));
     cols.push_back(Column{g.output_name, g.expr->result_type()});
   }
-  for (const AggSpec& spec : specs_) {
+  for (AggSpec& spec : specs_) {
+    if (spec.arg != nullptr) spec.arg = FoldConstants(std::move(spec.arg));
     AppendAggFuncs(spec.func, &hot_funcs_);
     DataType arg_type =
         spec.arg != nullptr ? spec.arg->result_type() : DataType::kInt64;
     cols.push_back(Column{spec.output_name, AggOutputType(spec.func, arg_type)});
   }
   output_schema_ = Schema(std::move(cols));
+
+  // Compile every group key and aggregate argument; the batched load goes
+  // column-at-a-time only when all of them compiled (all-or-nothing).
+  const Schema& in_schema = this->child(0)->output_schema();
+  keys_compiled_ = true;
+  for (const GroupKeyExpr& g : groups_) {
+    group_compiled_.push_back(CompiledExpr::Compile(*g.expr, in_schema));
+    keys_compiled_ = keys_compiled_ && group_compiled_.back() != nullptr;
+  }
+  for (const AggSpec& spec : specs_) {
+    if (spec.arg == nullptr) {
+      arg_compiled_.push_back(nullptr);  // COUNT(*) takes no argument.
+      continue;
+    }
+    arg_compiled_.push_back(CompiledExpr::Compile(*spec.arg, in_schema));
+    keys_compiled_ = keys_compiled_ && arg_compiled_.back() != nullptr;
+  }
+  if (keys_compiled_) {
+    SetVectorBatchFuncs();
+    for (const auto& programs : {&group_compiled_, &arg_compiled_}) {
+      for (const auto& p : *programs) {
+        if (p == nullptr) continue;
+        for (int col : p->input_columns()) {
+          bool present = false;
+          for (int c : decode_cols_) present = present || c == col;
+          if (!present) decode_cols_.push_back(col);
+        }
+      }
+    }
+  } else {
+    group_compiled_.clear();
+    arg_compiled_.clear();
+  }
+  gvecs_.resize(group_compiled_.size());
+  avecs_.resize(arg_compiled_.size());
 }
 
 Status HashAggregationOperator::Open(ExecContext* ctx) {
@@ -117,6 +155,61 @@ void HashAggregationOperator::AbsorbRow(const TupleView& view,
   }
 }
 
+HashAggregationOperator::GroupState*
+HashAggregationOperator::FindOrCreateGroupLane(const std::string& key,
+                                               uint64_t hash, size_t lane) {
+  int32_t* bucket = &buckets_[hash & (buckets_.size() - 1)];
+  for (int32_t i = *bucket; i >= 0; i = group_states_[i].next) {
+    GroupState& state = group_states_[i];
+    if (state.hash == hash && state.key == key) return &state;
+  }
+  if (group_states_.size() + 1 > buckets_.size() / 2) {
+    Rehash();
+    bucket = &buckets_[hash & (buckets_.size() - 1)];
+  }
+  GroupState state;
+  state.hash = hash;
+  state.key = key;
+  state.next = *bucket;
+  state.group_values.resize(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    state.group_values[g] = LaneValue(*gvecs_[g], lane);
+  }
+  state.accs.resize(specs_.size());
+  group_states_.push_back(std::move(state));
+  *bucket = static_cast<int32_t>(group_states_.size() - 1);
+  return &group_states_.back();
+}
+
+void HashAggregationOperator::AbsorbLane(size_t lane, const std::string& key,
+                                         uint64_t hash) {
+  GroupState* state = FindOrCreateGroupLane(key, hash, lane);
+  ctx_->Touch(state, sizeof(GroupState));
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    Value v = avecs_[i] != nullptr ? LaneValue(*avecs_[i], lane) : Value();
+    state->accs[i].Update(specs_[i].func, v);
+  }
+}
+
+void HashAggregationOperator::SerializeLaneInto(size_t lane,
+                                                std::string* out) const {
+  out->clear();
+  for (const ColumnVector* v : gvecs_) {
+    out->push_back(static_cast<char>(v->type));
+    const bool is_null = v->nulls[lane] != 0;
+    out->push_back(is_null ? 1 : 0);
+    if (is_null) continue;
+    // Strings never compile, so every payload is a fixed 8 bytes.
+    if (v->is_double()) {
+      const double d = v->f64[lane];
+      out->append(reinterpret_cast<const char*>(&d), 8);
+    } else {
+      const int64_t i = v->i64[lane];
+      out->append(reinterpret_cast<const char*>(&i), 8);
+    }
+  }
+}
+
 void HashAggregationOperator::Load() {
   const Schema& in_schema = child(0)->output_schema();
   std::vector<Value> key_values(groups_.size());
@@ -142,18 +235,41 @@ void HashAggregationOperator::LoadBatched() {
   batch_keys_.resize(batch_size_);
   batch_hashes_.resize(batch_size_);
   std::vector<Value> key_values(groups_.size());
+  const bool vectorized = keys_compiled_ && vectorized_eval_;
   for (;;) {
     size_t n = child(0)->NextBatch(batch_rows_.data(), batch_size_);
     if (n == 0) break;
-    for (size_t i = 0; i < n; ++i) {
-      TupleView view(batch_rows_[i], &in_schema);
-      for (size_t g = 0; g < groups_.size(); ++g) {
-        key_values[g] = groups_[g].expr->Evaluate(view);
+    if (vectorized) {
+      // Column-at-a-time: one decode of the union of input columns feeds
+      // every group-key and argument program; key serialization and the
+      // accumulator updates then read the result vectors lane-wise.
+      RowBatchDecoder::Decode(batch_rows_.data(), n, in_schema, decode_cols_,
+                              &vbatch_);
+      for (size_t g = 0; g < group_compiled_.size(); ++g) {
+        gvecs_[g] = &group_compiled_[g]->Run(vbatch_);
       }
-      SerializeKeyInto(key_values, &batch_keys_[i]);
-      uint64_t h = HashKey(batch_keys_[i]);
-      batch_hashes_[i] = h;
-      PrefetchRead(&buckets_[h & (buckets_.size() - 1)]);
+      for (size_t a = 0; a < arg_compiled_.size(); ++a) {
+        avecs_[a] =
+            arg_compiled_[a] != nullptr ? &arg_compiled_[a]->Run(vbatch_) : nullptr;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        SerializeLaneInto(i, &batch_keys_[i]);
+        uint64_t h = HashKey(batch_keys_[i]);
+        batch_hashes_[i] = h;
+        PrefetchRead(&buckets_[h & (buckets_.size() - 1)]);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        TupleView view(batch_rows_[i], &in_schema);
+        for (size_t g = 0; g < groups_.size(); ++g) {
+          // LINT: allow-scalar-eval(fallback: some key/arg did not compile)
+          key_values[g] = groups_[g].expr->Evaluate(view);
+        }
+        SerializeKeyInto(key_values, &batch_keys_[i]);
+        uint64_t h = HashKey(batch_keys_[i]);
+        batch_hashes_[i] = h;
+        PrefetchRead(&buckets_[h & (buckets_.size() - 1)]);
+      }
     }
     // By now the first rows' bucket lines have arrived: read the heads and
     // prefetch the group nodes they chain to, overlapping the second
@@ -162,10 +278,17 @@ void HashAggregationOperator::LoadBatched() {
       int32_t head = buckets_[batch_hashes_[i] & (buckets_.size() - 1)];
       if (head >= 0) PrefetchRead(&group_states_[head]);
     }
-    for (size_t i = 0; i < n; ++i) {
-      ctx_->ExecModule(module_id(), hot_funcs_);
-      TupleView view(batch_rows_[i], &in_schema);
-      AbsorbRow(view, batch_keys_[i], batch_hashes_[i]);
+    if (vectorized) {
+      for (size_t i = 0; i < n; ++i) {
+        ctx_->ExecModule(module_id(), hot_funcs_batched());
+        AbsorbLane(i, batch_keys_[i], batch_hashes_[i]);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        ctx_->ExecModule(module_id(), hot_funcs_);
+        TupleView view(batch_rows_[i], &in_schema);
+        AbsorbRow(view, batch_keys_[i], batch_hashes_[i]);
+      }
     }
   }
 }

@@ -7,7 +7,9 @@
 
 #include "exec/aggregation.h"
 #include "exec/operator.h"
+#include "exec/row_batch_decoder.h"
 #include "expr/expression.h"
+#include "expr/vector_eval.h"
 
 namespace bufferdb {
 
@@ -51,6 +53,11 @@ class HashAggregationOperator final : public Operator {
 
   size_t num_groups() const { return group_states_.size(); }
 
+  /// True when every group key and aggregate argument compiled to a kernel
+  /// program, so the batched load evaluates them column-at-a-time (test
+  /// hook).
+  bool keys_compiled() const { return keys_compiled_; }
+
  private:
   struct GroupState {
     uint64_t hash;
@@ -68,6 +75,15 @@ class HashAggregationOperator final : public Operator {
                  uint64_t hash);
   GroupState* FindOrCreateGroup(const std::string& key, uint64_t hash,
                                 const TupleView& view);
+  /// Lane variants of the above, reading group/argument values out of the
+  /// kernel-program result vectors (gvecs_/avecs_) instead of re-walking
+  /// expression trees per row.
+  void AbsorbLane(size_t lane, const std::string& key, uint64_t hash);
+  GroupState* FindOrCreateGroupLane(const std::string& key, uint64_t hash,
+                                    size_t lane);
+  /// Serializes lane `lane` of the group-key result vectors byte-identically
+  /// to SerializeKeyInto over the boxed values.
+  void SerializeLaneInto(size_t lane, std::string* out) const;
   void Rehash();
 
   std::vector<GroupKeyExpr> groups_;
@@ -83,6 +99,18 @@ class HashAggregationOperator final : public Operator {
   std::vector<const uint8_t*> batch_rows_;  // LoadBatched scratch.
   std::vector<std::string> batch_keys_;
   std::vector<uint64_t> batch_hashes_;
+
+  // Compiled kernel programs (plan-time): one per group key, one per
+  // aggregate argument (nullptr for COUNT(*)). Used only when ALL of them
+  // compiled (keys_compiled_), so a batch is evaluated entirely
+  // column-at-a-time or entirely by the interpreter.
+  std::vector<std::unique_ptr<CompiledExpr>> group_compiled_;
+  std::vector<std::unique_ptr<CompiledExpr>> arg_compiled_;
+  bool keys_compiled_ = false;
+  std::vector<int> decode_cols_;  // Union of the programs' input columns.
+  VectorBatch vbatch_;
+  std::vector<const ColumnVector*> gvecs_;  // Group-key results per batch.
+  std::vector<const ColumnVector*> avecs_;  // Agg-argument results.
 };
 
 }  // namespace bufferdb

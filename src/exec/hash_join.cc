@@ -7,12 +7,30 @@
 
 namespace bufferdb {
 
+namespace {
+
+// Keys flow through Value::int64_value(), so only programs whose result
+// lives in the int64 payload array qualify (a double key would already be
+// a type error in the interpreter path).
+std::unique_ptr<CompiledExpr> CompileKey(const Expression& key,
+                                         const Schema& schema) {
+  auto program = CompiledExpr::Compile(key, schema);
+  if (program != nullptr && program->result_type() == DataType::kDouble) {
+    return nullptr;
+  }
+  return program;
+}
+
+}  // namespace
+
 HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
                                    ExprPtr probe_key, ExprPtr build_key,
                                    ExprPtr residual_predicate)
-    : probe_key_(std::move(probe_key)),
-      build_key_(std::move(build_key)),
-      residual_predicate_(std::move(residual_predicate)) {
+    : probe_key_(FoldConstants(std::move(probe_key))),
+      build_key_(FoldConstants(std::move(build_key))),
+      residual_predicate_(residual_predicate == nullptr
+                              ? nullptr
+                              : FoldConstants(std::move(residual_predicate))) {
   output_schema_ =
       Schema::Concat(probe->output_schema(), build->output_schema());
   AddChild(std::move(probe));
@@ -22,11 +40,42 @@ HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
   for (sim::FuncId f : sim::ModuleBaseFuncs(sim::ModuleId::kHashJoinBuild)) {
     build_funcs_.push_back(f);
   }
+  probe_compiled_ = CompileKey(*probe_key_, child(0)->output_schema());
+  build_compiled_ = CompileKey(*build_key_, child(1)->output_schema());
+  if (probe_compiled_ != nullptr) {
+    SetVectorBatchFuncs();
+    // The residual predicate still runs on the interpreter, per match.
+    if (residual_predicate_ != nullptr) {
+      batch_hot_funcs_.push_back(sim::FuncId::kExprArith);
+    }
+  }
+  build_batch_funcs_ = build_funcs_;
+  if (build_compiled_ != nullptr) {
+    build_batch_funcs_.push_back(sim::FuncId::kVectorEvalCore);
+  }
 }
 
 int32_t* HashJoinOperator::BucketFor(int64_t key) {
   uint64_t h = SplitMix64(static_cast<uint64_t>(key));
   return &buckets_[h & (buckets_.size() - 1)];
+}
+
+void HashJoinOperator::InsertBuildRow(int64_t key, const uint8_t* row) {
+  if (nodes_.size() + 1 > buckets_.size() / 2) {
+    // Rehash into a table twice the size.
+    std::vector<int32_t> old = std::move(buckets_);
+    buckets_.assign(old.size() * 2, -1);
+    for (int32_t i = 0; i < static_cast<int32_t>(nodes_.size()); ++i) {
+      int32_t* bucket = BucketFor(nodes_[i].key);
+      nodes_[i].next = *bucket;
+      *bucket = i;
+    }
+  }
+  int32_t* bucket = BucketFor(key);
+  nodes_.push_back(Node{key, row, *bucket});
+  *bucket = static_cast<int32_t>(nodes_.size() - 1);
+  ctx_->Touch(bucket, sizeof(int32_t));
+  ctx_->Touch(&nodes_.back(), sizeof(Node));
 }
 
 Status HashJoinOperator::Open(ExecContext* ctx) {
@@ -56,26 +105,32 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
       while (capacity < 2 * static_cast<size_t>(est)) capacity <<= 1;
     }
     buckets_.assign(capacity, -1);
-    while (const uint8_t* row = child(1)->Next()) {
-      ctx_->ExecModule(sim::ModuleId::kHashJoinBuild, build_funcs_);
-      TupleView view(row, &build_schema);
-      Value key = build_key_->Evaluate(view);
-      if (key.is_null()) continue;  // NULL keys never match.
-      if (nodes_.size() + 1 > buckets_.size() / 2) {
-        // Rehash into a table twice the size.
-        std::vector<int32_t> old = std::move(buckets_);
-        buckets_.assign(old.size() * 2, -1);
-        for (int32_t i = 0; i < static_cast<int32_t>(nodes_.size()); ++i) {
-          int32_t* bucket = BucketFor(nodes_[i].key);
-          nodes_[i].next = *bucket;
-          *bucket = i;
+    if (probe_batch_size_ > 1 && build_compiled_ != nullptr &&
+        vectorized_eval_) {
+      // Batched build: pull whole batches, evaluate all keys with the
+      // compiled program, then insert row-at-a-time.
+      build_rows_.resize(kDefaultBatchSize);
+      for (;;) {
+        size_t n = child(1)->NextBatch(build_rows_.data(), build_rows_.size());
+        if (n == 0) break;
+        RowBatchDecoder::Decode(build_rows_.data(), n, build_schema,
+                                build_compiled_->input_columns(),
+                                &build_vbatch_);
+        const ColumnVector& keys = build_compiled_->Run(build_vbatch_);
+        for (size_t i = 0; i < n; ++i) {
+          ctx_->ExecModule(sim::ModuleId::kHashJoinBuild, build_batch_funcs_);
+          if (keys.nulls[i] != 0) continue;  // NULL keys never match.
+          InsertBuildRow(keys.i64[i], build_rows_[i]);
         }
       }
-      int32_t* bucket = BucketFor(key.int64_value());
-      nodes_.push_back(Node{key.int64_value(), row, *bucket});
-      *bucket = static_cast<int32_t>(nodes_.size() - 1);
-      ctx_->Touch(bucket, sizeof(int32_t));
-      ctx_->Touch(&nodes_.back(), sizeof(Node));
+    } else {
+      while (const uint8_t* row = child(1)->Next()) {
+        ctx_->ExecModule(sim::ModuleId::kHashJoinBuild, build_funcs_);
+        TupleView view(row, &build_schema);
+        Value key = build_key_->Evaluate(view);
+        if (key.is_null()) continue;  // NULL keys never match.
+        InsertBuildRow(key.int64_value(), row);
+      }
     }
     built_ = true;
   }
@@ -97,16 +152,33 @@ void HashJoinOperator::FetchProbeBatch() {
     return;
   }
   const uint64_t mask = buckets_.size() - 1;
-  for (size_t i = 0; i < probe_count_; ++i) {
-    TupleView view(probe_rows_[i], &probe_schema);
-    Value key = probe_key_->Evaluate(view);
-    bool valid = !key.is_null();
-    probe_valid_[i] = valid ? 1 : 0;
-    if (!valid) continue;
-    probe_keys_[i] = key.int64_value();
-    uint64_t b = SplitMix64(static_cast<uint64_t>(probe_keys_[i])) & mask;
-    probe_buckets_[i] = b;
-    PrefetchRead(&buckets_[b]);
+  if (probe_compiled_ != nullptr && vectorized_eval_) {
+    // Column-at-a-time key evaluation for the whole batch, then the same
+    // hash + bucket-prefetch pass over the key vector.
+    RowBatchDecoder::Decode(probe_rows_.data(), probe_count_, probe_schema,
+                            probe_compiled_->input_columns(), &probe_vbatch_);
+    const ColumnVector& keys = probe_compiled_->Run(probe_vbatch_);
+    for (size_t i = 0; i < probe_count_; ++i) {
+      const bool valid = keys.nulls[i] == 0;
+      probe_valid_[i] = valid ? 1 : 0;
+      if (!valid) continue;
+      probe_keys_[i] = keys.i64[i];
+      uint64_t b = SplitMix64(static_cast<uint64_t>(probe_keys_[i])) & mask;
+      probe_buckets_[i] = b;
+      PrefetchRead(&buckets_[b]);
+    }
+  } else {
+    for (size_t i = 0; i < probe_count_; ++i) {
+      TupleView view(probe_rows_[i], &probe_schema);
+      Value key = probe_key_->Evaluate(view);
+      bool valid = !key.is_null();
+      probe_valid_[i] = valid ? 1 : 0;
+      if (!valid) continue;
+      probe_keys_[i] = key.int64_value();
+      uint64_t b = SplitMix64(static_cast<uint64_t>(probe_keys_[i])) & mask;
+      probe_buckets_[i] = b;
+      PrefetchRead(&buckets_[b]);
+    }
   }
   for (size_t i = 0; i < probe_count_; ++i) {
     if (!probe_valid_[i]) {
@@ -147,11 +219,11 @@ const uint8_t* HashJoinOperator::Next() {
       if (probe_pos_ >= probe_count_) {
         if (!probe_eof_) FetchProbeBatch();
         if (probe_count_ == 0 || probe_pos_ >= probe_count_) {
-          ctx_->ExecModule(module_id(), hot_funcs_);
+          ctx_->ExecModule(module_id(), hot_funcs_batched());
           return nullptr;
         }
       }
-      ctx_->ExecModule(module_id(), hot_funcs_);
+      ctx_->ExecModule(module_id(), hot_funcs_batched());
       size_t i = probe_pos_++;
       if (!probe_valid_[i]) continue;
       probe_row_ = probe_rows_[i];

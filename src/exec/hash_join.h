@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/row_batch_decoder.h"
 #include "expr/expression.h"
+#include "expr/vector_eval.h"
 
 namespace bufferdb {
 
@@ -46,6 +48,17 @@ class HashJoinOperator final : public Operator {
   void set_probe_batch_size(size_t n) { probe_batch_size_ = n == 0 ? 1 : n; }
   size_t probe_batch_size() const { return probe_batch_size_; }
 
+  /// Non-null when the respective key expression compiled to a kernel
+  /// program (test hooks). Compiled keys are used on the batched probe path
+  /// and the batched build; the residual predicate always stays on the
+  /// interpreter (it runs per join match, not per input tuple).
+  const CompiledExpr* compiled_probe_key() const {
+    return probe_compiled_.get();
+  }
+  const CompiledExpr* compiled_build_key() const {
+    return build_compiled_.get();
+  }
+
  private:
   struct Node {
     int64_t key;
@@ -55,12 +68,23 @@ class HashJoinOperator final : public Operator {
 
   int32_t* BucketFor(int64_t key);
   void FetchProbeBatch();
+  void InsertBuildRow(int64_t key, const uint8_t* row);
 
   ExprPtr probe_key_;
   ExprPtr build_key_;
   ExprPtr residual_predicate_;
   Schema output_schema_;
   std::vector<sim::FuncId> build_funcs_;
+  std::vector<sim::FuncId> build_batch_funcs_;
+
+  // Compiled key programs (plan-time; nullptr -> interpreter). Only
+  // programs with an int64-payload result (int64/date/bool) are kept —
+  // keys are hashed through int64_value(), exactly like the interpreter.
+  std::unique_ptr<CompiledExpr> probe_compiled_;
+  std::unique_ptr<CompiledExpr> build_compiled_;
+  VectorBatch probe_vbatch_;
+  VectorBatch build_vbatch_;
+  std::vector<const uint8_t*> build_rows_;  // Batched-build staging.
 
   std::vector<int32_t> buckets_;
   std::vector<Node> nodes_;

@@ -92,6 +92,22 @@ class Operator {
   /// profiler's dynamic call graph observes and what the plan refiner sums.
   const std::vector<sim::FuncId>& hot_funcs() const { return hot_funcs_; }
 
+  /// The synthetic functions executed per unit of work on the batch fast
+  /// path. Operators whose NextBatch() runs compiled kernel programs instead
+  /// of the tree-walking interpreter replace kExprArith/kExprCmp with the
+  /// (smaller) kVectorEvalCore here, so the plan refiner sees the reduced
+  /// per-tuple instruction working set when refining a batched plan. Falls
+  /// back to hot_funcs() for operators without a vectorized path.
+  const std::vector<sim::FuncId>& hot_funcs_batched() const {
+    return batch_hot_funcs_.empty() ? hot_funcs_ : batch_hot_funcs_;
+  }
+
+  /// Whether this operator may use compiled kernel programs on its batch
+  /// path (set by the planner from PlannerOptions::vectorize_expressions;
+  /// defaults to on for hand-built plans).
+  void set_vectorized_eval(bool v) { vectorized_eval_ = v; }
+  bool vectorized_eval() const { return vectorized_eval_; }
+
   // -- Plan-tree structure (used by the refiner and the printer). --
   size_t num_children() const { return children_.size(); }
   Operator* child(size_t i) const { return children_[i].get(); }
@@ -141,8 +157,24 @@ class Operator {
     hot_funcs_.push_back(f);
   }
 
+  /// Derives batch_hot_funcs_ from hot_funcs_ for an operator whose batch
+  /// path runs compiled kernel programs: the interpreter footprints
+  /// (kExprArith/kExprCmp) are replaced by kVectorEvalCore. Called after
+  /// hot_funcs_ is final, by operators that successfully compiled their
+  /// expressions.
+  void SetVectorBatchFuncs() {
+    batch_hot_funcs_.clear();
+    for (sim::FuncId f : hot_funcs_) {
+      if (f == sim::FuncId::kExprArith || f == sim::FuncId::kExprCmp) continue;
+      batch_hot_funcs_.push_back(f);
+    }
+    batch_hot_funcs_.push_back(sim::FuncId::kVectorEvalCore);
+  }
+
   ExecContext* ctx_ = nullptr;
   std::vector<sim::FuncId> hot_funcs_;
+  std::vector<sim::FuncId> batch_hot_funcs_;
+  bool vectorized_eval_ = true;
 
  private:
   std::vector<std::unique_ptr<Operator>> children_;

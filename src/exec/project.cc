@@ -1,5 +1,8 @@
 #include "exec/project.h"
 
+#include <cstring>
+
+#include "expr/evaluator.h"
 #include "storage/tuple.h"
 
 namespace bufferdb {
@@ -10,10 +13,35 @@ ProjectOperator::ProjectOperator(OperatorPtr child,
   AddChild(std::move(child));
   InitHotFuncs(module_id());
   std::vector<Column> cols;
-  for (const ProjectItem& item : items_) {
+  for (ProjectItem& item : items_) {
+    item.expr = FoldConstants(std::move(item.expr));
     cols.push_back(Column{item.output_name, item.expr->result_type()});
   }
   output_schema_ = Schema(std::move(cols));
+
+  // Vectorize all-or-nothing: one uncompilable item (e.g. a string column)
+  // keeps the whole operator on the interpreter, so a batch never mixes the
+  // two materialization paths.
+  const Schema& in_schema = this->child(0)->output_schema();
+  std::vector<std::unique_ptr<CompiledExpr>> programs;
+  for (const ProjectItem& item : items_) {
+    auto p = CompiledExpr::Compile(*item.expr, in_schema);
+    if (p == nullptr) {
+      programs.clear();
+      break;
+    }
+    programs.push_back(std::move(p));
+  }
+  compiled_ = std::move(programs);
+  for (const auto& p : compiled_) {
+    for (int col : p->input_columns()) {
+      bool present = false;
+      for (int c : decode_cols_) present = present || c == col;
+      if (!present) decode_cols_.push_back(col);
+    }
+  }
+  if (!compiled_.empty()) SetVectorBatchFuncs();
+  results_.resize(compiled_.size());
 }
 
 Status ProjectOperator::Open(ExecContext* ctx) {
@@ -41,15 +69,52 @@ size_t ProjectOperator::NextBatch(const uint8_t** out, size_t max) {
   if (in_batch_.size() < max) in_batch_.resize(max);
   size_t in_n = child(0)->NextBatch(in_batch_.data(), max);
   if (in_n == 0) {
-    ctx_->ExecModule(module_id(), hot_funcs_);  // End-of-stream.
+    ctx_->ExecModule(module_id(), hot_funcs_batched());  // End-of-stream.
     return 0;
   }
   const Schema& in_schema = child(0)->output_schema();
+  if (!compiled_.empty() && vectorized_eval_) {
+    RowBatchDecoder::Decode(in_batch_.data(), in_n, in_schema, decode_cols_,
+                            &vbatch_);
+    for (size_t c = 0; c < compiled_.size(); ++c) {
+      results_[c] = &compiled_[c]->Run(vbatch_);
+    }
+    // All output types are non-string (strings never compile), so every row
+    // is exactly fixed_bytes: materialize the whole batch into one arena
+    // block, straight from the result vectors.
+    const size_t row_bytes = output_schema_.fixed_bytes();
+    uint8_t* block = ctx_->arena.Allocate(in_n * row_bytes);
+    const uint32_t total = static_cast<uint32_t>(row_bytes);
+    for (size_t i = 0; i < in_n; ++i) {
+      ctx_->ExecModule(module_id(), hot_funcs_batched());
+      uint8_t* row = block + i * row_bytes;
+      std::memcpy(row, &total, 4);
+      std::memset(row + 4, 0, 4);
+      uint64_t bitmap = 0;
+      uint8_t* slot = row + Schema::kHeaderBytes;
+      for (size_t c = 0; c < results_.size(); ++c, slot += 8) {
+        const ColumnVector& v = *results_[c];
+        if (v.nulls[i] != 0) {
+          bitmap |= uint64_t{1} << c;
+          std::memset(slot, 0, 8);  // Same normalization as TupleBuilder.
+        } else if (v.is_double()) {
+          std::memcpy(slot, &v.f64[i], 8);
+        } else {
+          std::memcpy(slot, &v.i64[i], 8);
+        }
+      }
+      std::memcpy(row + 8, &bitmap, 8);
+      ctx_->Touch(row, row_bytes);
+      out[i] = row;
+    }
+    return in_n;
+  }
   TupleBuilder builder(&output_schema_);
   for (size_t i = 0; i < in_n; ++i) {
     ctx_->ExecModule(module_id(), hot_funcs_);
     TupleView view(in_batch_[i], &in_schema);
     for (size_t c = 0; c < items_.size(); ++c) {
+      // LINT: allow-scalar-eval(fallback: some item did not compile)
       builder.Set(c, items_[c].expr->Evaluate(view));
     }
     const uint8_t* row = builder.Finish(&ctx_->arena);

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/row_batch_decoder.h"
 #include "expr/expression.h"
+#include "expr/vector_eval.h"
 
 namespace bufferdb {
 
@@ -24,19 +26,32 @@ class ProjectOperator final : public Operator {
   const uint8_t* Next() override;
   void Close() override;
 
-  /// Batch fast path: projects a whole child batch in one loop, hoisting
-  /// the schema lookup and the TupleBuilder out of the per-row work.
+  /// Batch fast path. When every item compiled to a kernel program the batch
+  /// is decoded once (union of all programs' input columns), each program
+  /// runs column-at-a-time, and the output rows are materialized from the
+  /// result vectors into one arena block — no TupleBuilder, no Value
+  /// boxing. Otherwise the per-tuple interpreter runs with the schema
+  /// lookup and TupleBuilder hoisted out of the loop.
   size_t NextBatch(const uint8_t** out, size_t max) override;
 
   const Schema& output_schema() const override { return output_schema_; }
   sim::ModuleId module_id() const override { return sim::ModuleId::kProject; }
   std::string label() const override { return "Project"; }
 
+  /// True when all items compiled to kernel programs (test hook).
+  bool all_items_compiled() const { return !compiled_.empty(); }
+
  private:
   std::vector<ProjectItem> items_;
   Schema output_schema_;
+  // One program per item when ALL items compiled; empty otherwise
+  // (all-or-nothing, so a batch is either fully vectorized or fully
+  // interpreted).
+  std::vector<std::unique_ptr<CompiledExpr>> compiled_;
+  std::vector<int> decode_cols_;  // Union of the programs' input columns.
   std::vector<const uint8_t*> in_batch_;  // NextBatch scratch.
+  VectorBatch vbatch_;
+  std::vector<const ColumnVector*> results_;
 };
 
 }  // namespace bufferdb
-

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "catalog/schema.h"
+#include "expr/vector.h"
+
+namespace bufferdb {
+
+/// Decomposes a batch of packed row pointers (the NextBatch currency) into
+/// SoA ColumnVectors for the vectorized expression engine. Only the columns
+/// a kernel program actually reads are decoded; the row pointers themselves
+/// remain the batch currency between operators, so decoding is a per-operator
+/// view, not a format change.
+class RowBatchDecoder {
+ public:
+  /// Decodes `columns` of the `n` rows into `batch`. Column payloads follow
+  /// the ColumnVector conventions: bools normalized to 0/1, doubles in the
+  /// f64 array, NULL lanes with payload zero (guaranteed because
+  /// TupleBuilder zeroes null slots in the row format).
+  static void Decode(const uint8_t* const* rows, size_t n,
+                     const Schema& schema, std::span<const int> columns,
+                     VectorBatch* batch);
+};
+
+}  // namespace bufferdb

@@ -1,12 +1,19 @@
 #include "exec/seq_scan.h"
 
+#include "exec/row_batch_decoder.h"
 #include "expr/evaluator.h"
 
 namespace bufferdb {
 
 SeqScanOperator::SeqScanOperator(Table* table, ExprPtr predicate)
-    : table_(table), predicate_(std::move(predicate)) {
+    : table_(table),
+      predicate_(predicate != nullptr ? FoldConstants(std::move(predicate))
+                                      : nullptr) {
   InitHotFuncs(module_id());
+  if (predicate_ != nullptr) {
+    compiled_ = CompiledExpr::Compile(*predicate_, table_->schema());
+    if (compiled_ != nullptr) SetVectorBatchFuncs();
+  }
 }
 
 Status SeqScanOperator::Open(ExecContext* ctx) {
@@ -52,6 +59,27 @@ size_t SeqScanOperator::NextBatch(const uint8_t** out, size_t max) {
       limit_ = morsel.end;
       continue;
     }
+    if (compiled_ != nullptr && vectorized_eval_) {
+      // Vectorized predicate: gather the range into `out`, decode the
+      // referenced columns once, run the kernel program, then compact the
+      // survivors in place (sel_.idx is ascending, so idx[k] >= k and the
+      // in-place store never clobbers a pending source slot).
+      size_t gathered = 0;
+      while (pos_ < limit_ && n + gathered < max) {
+        ctx_->ExecModule(module_id(), hot_funcs_batched());
+        const uint8_t* row = table_->row(pos_++);
+        ctx_->Touch(row, TupleView(row, &schema).size_bytes());
+        out[n + gathered++] = row;
+      }
+      RowBatchDecoder::Decode(out + n, gathered, schema,
+                              compiled_->input_columns(), &vbatch_);
+      compiled_->RunFilter(vbatch_, &sel_);
+      for (size_t k = 0; k < sel_.count; ++k) {
+        out[n + k] = out[n + sel_.idx[k]];
+      }
+      n += sel_.count;
+      continue;
+    }
     // Tight run over the current range: no morsel check per row, and the
     // survivor store is branch-free (`n` advances by 0 or 1).
     while (pos_ < limit_ && n < max) {
@@ -59,8 +87,9 @@ size_t SeqScanOperator::NextBatch(const uint8_t** out, size_t max) {
       const uint8_t* row = table_->row(pos_++);
       TupleView view(row, &schema);
       ctx_->Touch(row, view.size_bytes());
-      bool keep =
-          predicate_ == nullptr || EvaluatePredicate(*predicate_, view);
+      bool keep = predicate_ == nullptr ||
+                  // LINT: allow-scalar-eval(fallback: predicate did not compile)
+                  EvaluatePredicate(*predicate_, view);
       out[n] = row;
       n += keep ? 1 : 0;
     }
@@ -82,7 +111,10 @@ Status SeqScanOperator::Rescan() {
 
 std::string SeqScanOperator::label() const {
   std::string out = "Scan(" + table_->name();
-  if (predicate_ != nullptr) out += ", " + predicate_->ToString();
+  if (predicate_ != nullptr) {
+    out += ", ";
+    out += predicate_->ToString();
+  }
   if (morsels_ != nullptr) out += ", morsel";
   out += ")";
   return out;

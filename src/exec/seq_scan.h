@@ -5,6 +5,8 @@
 
 #include "exec/operator.h"
 #include "expr/expression.h"
+#include "expr/vector.h"
+#include "expr/vector_eval.h"
 #include "parallel/morsel.h"
 #include "storage/table.h"
 
@@ -44,6 +46,10 @@ class SeqScanOperator final : public Operator {
   const Expression* predicate() const { return predicate_.get(); }
   const Table* table() const { return table_; }
 
+  /// Non-null when the pushed-down predicate compiled to a kernel program
+  /// (test hook; see expr/vector_eval.h).
+  const CompiledExpr* compiled_predicate() const { return compiled_.get(); }
+
   /// Switches to morsel mode. `cursor` must range over this table's rows
   /// and outlive the operator; the caller (ExchangeOperator) resets it
   /// between executions. Pass null to return to full-table mode.
@@ -53,6 +59,9 @@ class SeqScanOperator final : public Operator {
  private:
   Table* table_;
   ExprPtr predicate_;
+  std::unique_ptr<CompiledExpr> compiled_;  // Null when no/uncompilable pred.
+  VectorBatch vbatch_;
+  SelectionVector sel_;
   parallel::MorselCursor* morsels_ = nullptr;
   size_t pos_ = 0;
   size_t limit_ = 0;  // End of the current morsel (or of the table).

@@ -117,7 +117,11 @@ Value EvalArithmetic(BinaryOp op, const Value& l, const Value& r,
       case BinaryOp::kMul:
         return Value::Int64(a * b);
       case BinaryOp::kDiv:
-        return b == 0 ? Value::Null(DataType::kInt64) : Value::Int64(a / b);
+        if (b == 0) return Value::Null(DataType::kInt64);
+        // INT64_MIN / -1 overflows (hardware trap on x86); define it as
+        // INT64_MIN, matching the vectorized kernels (expr/vector_eval.cc).
+        if (a == INT64_MIN && b == -1) return Value::Int64(INT64_MIN);
+        return Value::Int64(a / b);
       default:
         break;
     }

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace bufferdb {
+
+/// SoA column of decoded values for the vectorized expression engine
+/// (DESIGN.md section 10).
+///
+/// Exactly one payload array is active, selected by `type`: `i64` for
+/// kBool/kInt64/kDate (bools normalized to 0/1), `f64` for kDouble. Keeping
+/// two typed vectors instead of one reinterpret_cast'ed byte buffer keeps the
+/// kernels free of aliasing UB and lets the compiler vectorize the loops.
+///
+/// Invariant maintained by the decoder and every kernel: the payload of a
+/// NULL lane is zero (the same normalization TupleBuilder applies to null
+/// slots). Kernels may therefore read every lane branch-free — a NULL lane
+/// can never inject garbage (e.g. an INT64_MIN / -1 trap) into the result.
+struct ColumnVector {
+  DataType type = DataType::kInt64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<uint8_t> nulls;  // 1 = NULL.
+
+  bool is_double() const { return type == DataType::kDouble; }
+
+  /// Prepares the vector to hold `n` lanes of `t`; never shrinks capacity.
+  void Reset(DataType t, size_t n) {
+    type = t;
+    nulls.resize(n);
+    if (is_double()) {
+      f64.resize(n);
+    } else {
+      i64.resize(n);
+    }
+  }
+};
+
+/// Indexes of the lanes that survived a predicate, in lane order.
+struct SelectionVector {
+  std::vector<uint32_t> idx;
+  size_t count = 0;
+};
+
+/// The decoded input columns of one row batch, shared by every kernel
+/// program evaluated over that batch (one decode feeds the filter predicate,
+/// all project items, join keys, ...). Vectors are keyed by the input
+/// column index they were decoded from.
+class VectorBatch {
+ public:
+  size_t rows() const { return rows_; }
+  void set_rows(size_t n) { rows_ = n; }
+
+  /// The vector for input column `col`, created on first use.
+  ColumnVector* Mutable(int col) {
+    for (Entry& e : cols_) {
+      if (e.col == col) return &e.vec;
+    }
+    cols_.push_back(Entry{col, ColumnVector{}});
+    return &cols_.back().vec;
+  }
+
+  /// The decoded vector for `col`; the column must have been decoded into
+  /// this batch.
+  const ColumnVector& Get(int col) const {
+    for (const Entry& e : cols_) {
+      if (e.col == col) return e.vec;
+    }
+    assert(false && "column not decoded into this VectorBatch");
+    return cols_.front().vec;
+  }
+
+ private:
+  struct Entry {
+    int col;
+    ColumnVector vec;
+  };
+  size_t rows_ = 0;
+  std::vector<Entry> cols_;
+};
+
+}  // namespace bufferdb

@@ -1,0 +1,746 @@
+#include "expr/vector_eval.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace bufferdb {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kernels. Each runs one tight loop over the whole batch; null handling is
+// branch-free (mask arithmetic + select), so the loops auto-vectorize. The
+// select also re-establishes the invariant that NULL lanes carry a zero
+// payload (see ColumnVector), which is what keeps downstream kernels safe to
+// run unconditionally over every lane.
+// ---------------------------------------------------------------------------
+
+void NullUnion(const uint8_t* an, const uint8_t* bn, size_t n, uint8_t* dn) {
+  for (size_t i = 0; i < n; ++i) {
+    dn[i] = static_cast<uint8_t>(an[i] | bn[i]);
+  }
+}
+
+void ZeroNullLanesI64(int64_t* d, const uint8_t* dn, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = dn[i] != 0 ? 0 : d[i];
+  }
+}
+
+#if defined(__AVX2__)
+
+// AVX2 specializations for the int64 arithmetic/compare kernels. They
+// compute the same lane values as the scalar loops bit for bit; the null
+// select runs as a separate (auto-vectorized) pass afterwards.
+
+inline __m256i LoadI64x4(const int64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void StoreI64x4(int64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+void AddI64Avx(const int64_t* a, const int64_t* b, size_t n, int64_t* d) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    StoreI64x4(d + i, _mm256_add_epi64(LoadI64x4(a + i), LoadI64x4(b + i)));
+  }
+  for (; i < n; ++i) d[i] = a[i] + b[i];
+}
+
+void SubI64Avx(const int64_t* a, const int64_t* b, size_t n, int64_t* d) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    StoreI64x4(d + i, _mm256_sub_epi64(LoadI64x4(a + i), LoadI64x4(b + i)));
+  }
+  for (; i < n; ++i) d[i] = a[i] - b[i];
+}
+
+// 64x64->64 low product from 32-bit partial products (AVX2 has no
+// vpmullq): lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+void MulI64Avx(const int64_t* a, const int64_t* b, size_t n, int64_t* d) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = LoadI64x4(a + i);
+    const __m256i vb = LoadI64x4(b + i);
+    const __m256i ah = _mm256_srli_epi64(va, 32);
+    const __m256i bh = _mm256_srli_epi64(vb, 32);
+    const __m256i ll = _mm256_mul_epu32(va, vb);
+    const __m256i lh = _mm256_mul_epu32(va, bh);
+    const __m256i hl = _mm256_mul_epu32(ah, vb);
+    const __m256i cross = _mm256_add_epi64(lh, hl);
+    StoreI64x4(d + i,
+               _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32)));
+  }
+  for (; i < n; ++i) {
+    d[i] = static_cast<int64_t>(static_cast<uint64_t>(a[i]) *
+                                static_cast<uint64_t>(b[i]));
+  }
+}
+
+// Comparison results as 0/1 int64 lanes (bool payload convention).
+void CmpI64Avx(VecOp op, const int64_t* a, const int64_t* b, size_t n,
+               int64_t* d) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = LoadI64x4(a + i);
+    const __m256i vb = LoadI64x4(b + i);
+    __m256i bits;
+    switch (op) {
+      case VecOp::kCmpEqI64:
+        bits = _mm256_srli_epi64(_mm256_cmpeq_epi64(va, vb), 63);
+        break;
+      case VecOp::kCmpNeI64:
+        bits = _mm256_xor_si256(
+            _mm256_srli_epi64(_mm256_cmpeq_epi64(va, vb), 63), one);
+        break;
+      case VecOp::kCmpLtI64:
+        bits = _mm256_srli_epi64(_mm256_cmpgt_epi64(vb, va), 63);
+        break;
+      case VecOp::kCmpLeI64:
+        bits = _mm256_xor_si256(
+            _mm256_srli_epi64(_mm256_cmpgt_epi64(va, vb), 63), one);
+        break;
+      case VecOp::kCmpGtI64:
+        bits = _mm256_srli_epi64(_mm256_cmpgt_epi64(va, vb), 63);
+        break;
+      default:  // kCmpGeI64
+        bits = _mm256_xor_si256(
+            _mm256_srli_epi64(_mm256_cmpgt_epi64(vb, va), 63), one);
+        break;
+    }
+    StoreI64x4(d + i, bits);
+  }
+  for (; i < n; ++i) {
+    switch (op) {
+      case VecOp::kCmpEqI64: d[i] = a[i] == b[i] ? 1 : 0; break;
+      case VecOp::kCmpNeI64: d[i] = a[i] != b[i] ? 1 : 0; break;
+      case VecOp::kCmpLtI64: d[i] = a[i] < b[i] ? 1 : 0; break;
+      case VecOp::kCmpLeI64: d[i] = a[i] <= b[i] ? 1 : 0; break;
+      case VecOp::kCmpGtI64: d[i] = a[i] > b[i] ? 1 : 0; break;
+      default: d[i] = a[i] >= b[i] ? 1 : 0; break;
+    }
+  }
+}
+
+#endif  // defined(__AVX2__)
+
+void ArithI64(VecOp op, const int64_t* a, const uint8_t* an, const int64_t* b,
+              const uint8_t* bn, size_t n, int64_t* d, uint8_t* dn,
+              bool use_avx2) {
+  (void)use_avx2;
+  switch (op) {
+    case VecOp::kAddI64:
+      NullUnion(an, bn, n, dn);
+#if defined(__AVX2__)
+      if (use_avx2) {
+        AddI64Avx(a, b, n, d);
+        ZeroNullLanesI64(d, dn, n);
+        return;
+      }
+#endif
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t v = a[i] + b[i];
+        d[i] = dn[i] != 0 ? 0 : v;
+      }
+      return;
+    case VecOp::kSubI64:
+      NullUnion(an, bn, n, dn);
+#if defined(__AVX2__)
+      if (use_avx2) {
+        SubI64Avx(a, b, n, d);
+        ZeroNullLanesI64(d, dn, n);
+        return;
+      }
+#endif
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t v = a[i] - b[i];
+        d[i] = dn[i] != 0 ? 0 : v;
+      }
+      return;
+    case VecOp::kMulI64:
+      NullUnion(an, bn, n, dn);
+#if defined(__AVX2__)
+      if (use_avx2) {
+        MulI64Avx(a, b, n, d);
+        ZeroNullLanesI64(d, dn, n);
+        return;
+      }
+#endif
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t v = a[i] * b[i];
+        d[i] = dn[i] != 0 ? 0 : v;
+      }
+      return;
+    case VecOp::kDivI64:
+      // Divisor 0 -> NULL, like EvalArithmetic. The safe divisor also guards
+      // INT64_MIN / -1 (UB the interpreter would hit too; we return
+      // INT64_MIN instead of trapping). NULL input lanes carry payload 0,
+      // so they can never inject a trapping pair.
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t bv = b[i];
+        const uint8_t zero = bv == 0 ? 1 : 0;
+        const bool ovf =
+            a[i] == std::numeric_limits<int64_t>::min() && bv == -1;
+        const int64_t safe = (zero != 0 || ovf) ? 1 : bv;
+        const uint8_t nl = static_cast<uint8_t>(an[i] | bn[i] | zero);
+        dn[i] = nl;
+        const int64_t q = a[i] / safe;
+        d[i] = nl != 0 ? 0 : q;
+      }
+      return;
+    default:
+      assert(false && "not an int64 arithmetic op");
+  }
+}
+
+void ArithF64(VecOp op, const double* a, const uint8_t* an, const double* b,
+              const uint8_t* bn, size_t n, double* d, uint8_t* dn) {
+  switch (op) {
+    case VecOp::kAddF64:
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t nl = static_cast<uint8_t>(an[i] | bn[i]);
+        dn[i] = nl;
+        const double v = a[i] + b[i];
+        d[i] = nl != 0 ? 0.0 : v;
+      }
+      return;
+    case VecOp::kSubF64:
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t nl = static_cast<uint8_t>(an[i] | bn[i]);
+        dn[i] = nl;
+        const double v = a[i] - b[i];
+        d[i] = nl != 0 ? 0.0 : v;
+      }
+      return;
+    case VecOp::kMulF64:
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t nl = static_cast<uint8_t>(an[i] | bn[i]);
+        dn[i] = nl;
+        const double v = a[i] * b[i];
+        d[i] = nl != 0 ? 0.0 : v;
+      }
+      return;
+    case VecOp::kDivF64:
+      // Divisor 0.0 -> NULL, like EvalArithmetic; the safe divisor keeps the
+      // FP environment clean of divide-by-zero flags.
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t zero = b[i] == 0.0 ? 1 : 0;
+        const uint8_t nl = static_cast<uint8_t>(an[i] | bn[i] | zero);
+        dn[i] = nl;
+        const double safe = zero != 0 ? 1.0 : b[i];
+        const double q = a[i] / safe;
+        d[i] = nl != 0 ? 0.0 : q;
+      }
+      return;
+    default:
+      assert(false && "not a double arithmetic op");
+  }
+}
+
+void CmpI64(VecOp op, const int64_t* a, const uint8_t* an, const int64_t* b,
+            const uint8_t* bn, size_t n, int64_t* d, uint8_t* dn,
+            bool use_avx2) {
+  (void)use_avx2;
+  NullUnion(an, bn, n, dn);
+#if defined(__AVX2__)
+  if (use_avx2) {
+    CmpI64Avx(op, a, b, n, d);
+    ZeroNullLanesI64(d, dn, n);
+    return;
+  }
+#endif
+  switch (op) {
+    case VecOp::kCmpEqI64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & (a[i] == b[i]);
+      }
+      return;
+    case VecOp::kCmpNeI64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & (a[i] != b[i]);
+      }
+      return;
+    case VecOp::kCmpLtI64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & (a[i] < b[i]);
+      }
+      return;
+    case VecOp::kCmpLeI64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & (a[i] <= b[i]);
+      }
+      return;
+    case VecOp::kCmpGtI64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & (a[i] > b[i]);
+      }
+      return;
+    case VecOp::kCmpGeI64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & (a[i] >= b[i]);
+      }
+      return;
+    default:
+      assert(false && "not an int64 comparison");
+  }
+}
+
+// Double comparisons are phrased in terms of `<` and `>` only, exactly like
+// Value::Compare (`x < y ? -1 : x > y ? 1 : 0`). That makes NaN lanes
+// compare "equal" — Eq/Le/Ge true, Ne/Lt/Gt false — matching the
+// interpreter bit for bit instead of IEEE semantics.
+void CmpF64(VecOp op, const double* a, const uint8_t* an, const double* b,
+            const uint8_t* bn, size_t n, int64_t* d, uint8_t* dn) {
+  NullUnion(an, bn, n, dn);
+  switch (op) {
+    case VecOp::kCmpEqF64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & !(a[i] < b[i]) & !(a[i] > b[i]);
+      }
+      return;
+    case VecOp::kCmpNeF64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & ((a[i] < b[i]) | (a[i] > b[i]));
+      }
+      return;
+    case VecOp::kCmpLtF64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & (a[i] < b[i]);
+      }
+      return;
+    case VecOp::kCmpLeF64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & !(a[i] > b[i]);
+      }
+      return;
+    case VecOp::kCmpGtF64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & (a[i] > b[i]);
+      }
+      return;
+    case VecOp::kCmpGeF64:
+      for (size_t i = 0; i < n; ++i) {
+        d[i] = (dn[i] == 0) & !(a[i] < b[i]);
+      }
+      return;
+    default:
+      assert(false && "not a double comparison");
+  }
+}
+
+// Branch-free Kleene AND/OR over 0/1 bool lanes: false dominates AND, true
+// dominates OR; otherwise NULL if either side is NULL. Matches the
+// interpreter's short-circuit evaluation result for every of the 9
+// null/false/true input combinations.
+void KleeneAnd(const int64_t* a, const uint8_t* an, const int64_t* b,
+               const uint8_t* bn, size_t n, int64_t* d, uint8_t* dn) {
+  for (size_t i = 0; i < n; ++i) {
+    const int af = (an[i] == 0) & (a[i] == 0);
+    const int bf = (bn[i] == 0) & (b[i] == 0);
+    const int at = (an[i] == 0) & (a[i] != 0);
+    const int bt = (bn[i] == 0) & (b[i] != 0);
+    const int rfalse = af | bf;
+    dn[i] = static_cast<uint8_t>((rfalse == 0) & ((an[i] | bn[i]) != 0));
+    d[i] = at & bt;
+  }
+}
+
+void KleeneOr(const int64_t* a, const uint8_t* an, const int64_t* b,
+              const uint8_t* bn, size_t n, int64_t* d, uint8_t* dn) {
+  for (size_t i = 0; i < n; ++i) {
+    const int at = (an[i] == 0) & (a[i] != 0);
+    const int bt = (bn[i] == 0) & (b[i] != 0);
+    const int rtrue = at | bt;
+    dn[i] = static_cast<uint8_t>((rtrue == 0) & ((an[i] | bn[i]) != 0));
+    d[i] = rtrue;
+  }
+}
+
+bool IsF64(DataType t) { return t == DataType::kDouble; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compiler: post-order walk emitting one instruction per interior node.
+// Every node gets a fresh virtual register (programs are a handful of ops;
+// distinct registers keep the kernels free of output/input aliasing).
+// ---------------------------------------------------------------------------
+
+uint16_t CompiledExpr::NewReg(DataType type) {
+  reg_types_.push_back(type);
+  return static_cast<uint16_t>(reg_types_.size() - 1);
+}
+
+uint16_t CompiledExpr::AddInputColumn(int col, DataType type) {
+  for (size_t i = 0; i < input_cols_.size(); ++i) {
+    if (input_cols_[i] == col) return static_cast<uint16_t>(i);
+  }
+  input_cols_.push_back(col);
+  input_types_.push_back(type);
+  return static_cast<uint16_t>(input_cols_.size() - 1);
+}
+
+CompiledExpr::Operand CompiledExpr::EnsureF64(Operand o) {
+  if (IsF64(o.type)) return o;
+  VecInsn insn;
+  insn.op = VecOp::kCastI64ToF64;
+  insn.dst = NewReg(DataType::kDouble);
+  insn.a = o.ref;
+  insns_.push_back(insn);
+  return Operand{insn.dst, DataType::kDouble};
+}
+
+bool CompiledExpr::CompileNode(const Expression& expr, Operand* out) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      if (ref.result_type() == DataType::kString) return false;
+      const uint16_t idx =
+          AddInputColumn(ref.column(), ref.result_type());
+      *out = Operand{static_cast<uint16_t>(VecInsn::kInputRef | idx),
+                     ref.result_type()};
+      return true;
+    }
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value();
+      if (v.type() == DataType::kString) return false;
+      VecInsn insn;
+      insn.op = VecOp::kLoadConst;
+      insn.dst = NewReg(v.type());
+      insn.imm_null = v.is_null();
+      if (!v.is_null()) {
+        insn.imm = v.type() == DataType::kDouble
+                       ? std::bit_cast<int64_t>(v.double_value())
+                       : v.int64_value();
+      }
+      insns_.push_back(insn);
+      *out = Operand{insn.dst, v.type()};
+      return true;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      Operand a;
+      if (!CompileNode(u.operand(), &a)) return false;
+      VecInsn insn;
+      insn.a = a.ref;
+      switch (u.op()) {
+        case UnaryOp::kNot:
+          insn.op = VecOp::kNot;
+          insn.dst = NewReg(DataType::kBool);
+          break;
+        case UnaryOp::kNegate:
+          insn.op = IsF64(a.type) ? VecOp::kNegF64 : VecOp::kNegI64;
+          insn.dst = NewReg(u.result_type());
+          break;
+        case UnaryOp::kIsNull:
+          insn.op = VecOp::kIsNull;
+          insn.dst = NewReg(DataType::kBool);
+          break;
+        case UnaryOp::kIsNotNull:
+          insn.op = VecOp::kIsNotNull;
+          insn.dst = NewReg(DataType::kBool);
+          break;
+      }
+      insns_.push_back(insn);
+      *out = Operand{insn.dst, u.result_type()};
+      return true;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      if (b.op() == BinaryOp::kLike) return false;
+      Operand l, r;
+      if (!CompileNode(b.left(), &l)) return false;
+      if (!CompileNode(b.right(), &r)) return false;
+      VecInsn insn;
+      if (b.op() == BinaryOp::kAnd || b.op() == BinaryOp::kOr) {
+        insn.op = b.op() == BinaryOp::kAnd ? VecOp::kAnd : VecOp::kOr;
+        insn.dst = NewReg(DataType::kBool);
+      } else if (IsComparison(b.op())) {
+        const bool f64 = IsF64(l.type) || IsF64(r.type);
+        if (f64) {
+          l = EnsureF64(l);
+          r = EnsureF64(r);
+        }
+        switch (b.op()) {
+          case BinaryOp::kEq:
+            insn.op = f64 ? VecOp::kCmpEqF64 : VecOp::kCmpEqI64;
+            break;
+          case BinaryOp::kNe:
+            insn.op = f64 ? VecOp::kCmpNeF64 : VecOp::kCmpNeI64;
+            break;
+          case BinaryOp::kLt:
+            insn.op = f64 ? VecOp::kCmpLtF64 : VecOp::kCmpLtI64;
+            break;
+          case BinaryOp::kLe:
+            insn.op = f64 ? VecOp::kCmpLeF64 : VecOp::kCmpLeI64;
+            break;
+          case BinaryOp::kGt:
+            insn.op = f64 ? VecOp::kCmpGtF64 : VecOp::kCmpGtI64;
+            break;
+          default:
+            insn.op = f64 ? VecOp::kCmpGeF64 : VecOp::kCmpGeI64;
+            break;
+        }
+        insn.dst = NewReg(DataType::kBool);
+      } else {
+        // Arithmetic: MakeBinary types the result double iff either operand
+        // is double (the interpreter then widens both with AsDouble).
+        const bool f64 = b.result_type() == DataType::kDouble;
+        if (f64) {
+          l = EnsureF64(l);
+          r = EnsureF64(r);
+        }
+        switch (b.op()) {
+          case BinaryOp::kAdd:
+            insn.op = f64 ? VecOp::kAddF64 : VecOp::kAddI64;
+            break;
+          case BinaryOp::kSub:
+            insn.op = f64 ? VecOp::kSubF64 : VecOp::kSubI64;
+            break;
+          case BinaryOp::kMul:
+            insn.op = f64 ? VecOp::kMulF64 : VecOp::kMulI64;
+            break;
+          default:
+            insn.op = f64 ? VecOp::kDivF64 : VecOp::kDivI64;
+            break;
+        }
+        insn.dst = NewReg(b.result_type());
+      }
+      insn.a = l.ref;
+      insn.b = r.ref;
+      insns_.push_back(insn);
+      *out = Operand{insn.dst, b.result_type()};
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<CompiledExpr> CompiledExpr::Compile(const Expression& expr,
+                                                    const Schema& schema) {
+  auto compiled = std::unique_ptr<CompiledExpr>(new CompiledExpr());
+  Operand root;
+  if (!compiled->CompileNode(expr, &root)) return nullptr;
+  for (int col : compiled->input_cols_) {
+    if (col < 0 || static_cast<size_t>(col) >= schema.num_columns()) {
+      return nullptr;  // Unbound column reference.
+    }
+  }
+  compiled->result_ref_ = root.ref;
+  compiled->result_type_ = expr.result_type();
+  assert(root.type == expr.result_type());
+  compiled->regs_.resize(compiled->reg_types_.size());
+  return compiled;
+}
+
+// ---------------------------------------------------------------------------
+// Executor.
+// ---------------------------------------------------------------------------
+
+bool CompiledExpr::AvxEnabled() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const ColumnVector& CompiledExpr::Vec(uint16_t ref,
+                                      const VectorBatch& batch) const {
+  if ((ref & VecInsn::kInputRef) != 0) {
+    return batch.Get(input_cols_[ref & ~VecInsn::kInputRef]);
+  }
+  return regs_[ref];
+}
+
+const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
+  const size_t n = batch.rows();
+  for (const VecInsn& insn : insns_) {
+    ColumnVector& dst = regs_[insn.dst];
+    dst.Reset(reg_types_[insn.dst], n);
+    uint8_t* dn = dst.nulls.data();
+    switch (insn.op) {
+      case VecOp::kLoadConst: {
+        const uint8_t nl = insn.imm_null ? 1 : 0;
+        if (dst.is_double()) {
+          const double v =
+              insn.imm_null ? 0.0 : std::bit_cast<double>(insn.imm);
+          for (size_t i = 0; i < n; ++i) dst.f64[i] = v;
+        } else {
+          const int64_t v = insn.imm_null ? 0 : insn.imm;
+          for (size_t i = 0; i < n; ++i) dst.i64[i] = v;
+        }
+        for (size_t i = 0; i < n; ++i) dn[i] = nl;
+        break;
+      }
+      case VecOp::kCastI64ToF64: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const int64_t* av = a.i64.data();
+        const uint8_t* an = a.nulls.data();
+        for (size_t i = 0; i < n; ++i) {
+          dst.f64[i] = static_cast<double>(av[i]);
+          dn[i] = an[i];
+        }
+        break;
+      }
+      case VecOp::kAddI64:
+      case VecOp::kSubI64:
+      case VecOp::kMulI64:
+      case VecOp::kDivI64: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const ColumnVector& b = Vec(insn.b, batch);
+        ArithI64(insn.op, a.i64.data(), a.nulls.data(), b.i64.data(),
+                 b.nulls.data(), n, dst.i64.data(), dn, use_avx2_);
+        break;
+      }
+      case VecOp::kAddF64:
+      case VecOp::kSubF64:
+      case VecOp::kMulF64:
+      case VecOp::kDivF64: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const ColumnVector& b = Vec(insn.b, batch);
+        ArithF64(insn.op, a.f64.data(), a.nulls.data(), b.f64.data(),
+                 b.nulls.data(), n, dst.f64.data(), dn);
+        break;
+      }
+      case VecOp::kCmpEqI64:
+      case VecOp::kCmpNeI64:
+      case VecOp::kCmpLtI64:
+      case VecOp::kCmpLeI64:
+      case VecOp::kCmpGtI64:
+      case VecOp::kCmpGeI64: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const ColumnVector& b = Vec(insn.b, batch);
+        CmpI64(insn.op, a.i64.data(), a.nulls.data(), b.i64.data(),
+               b.nulls.data(), n, dst.i64.data(), dn, use_avx2_);
+        break;
+      }
+      case VecOp::kCmpEqF64:
+      case VecOp::kCmpNeF64:
+      case VecOp::kCmpLtF64:
+      case VecOp::kCmpLeF64:
+      case VecOp::kCmpGtF64:
+      case VecOp::kCmpGeF64: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const ColumnVector& b = Vec(insn.b, batch);
+        CmpF64(insn.op, a.f64.data(), a.nulls.data(), b.f64.data(),
+               b.nulls.data(), n, dst.i64.data(), dn);
+        break;
+      }
+      case VecOp::kAnd: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const ColumnVector& b = Vec(insn.b, batch);
+        KleeneAnd(a.i64.data(), a.nulls.data(), b.i64.data(), b.nulls.data(),
+                  n, dst.i64.data(), dn);
+        break;
+      }
+      case VecOp::kOr: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const ColumnVector& b = Vec(insn.b, batch);
+        KleeneOr(a.i64.data(), a.nulls.data(), b.i64.data(), b.nulls.data(),
+                 n, dst.i64.data(), dn);
+        break;
+      }
+      case VecOp::kNot: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const int64_t* av = a.i64.data();
+        const uint8_t* an = a.nulls.data();
+        int64_t* d = dst.i64.data();
+        for (size_t i = 0; i < n; ++i) {
+          d[i] = (an[i] == 0) & (av[i] == 0);
+          dn[i] = an[i];
+        }
+        break;
+      }
+      case VecOp::kNegI64: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const int64_t* av = a.i64.data();
+        const uint8_t* an = a.nulls.data();
+        int64_t* d = dst.i64.data();
+        // NULL lanes carry payload 0, and -0 == 0, so no select is needed.
+        for (size_t i = 0; i < n; ++i) {
+          d[i] = -av[i];
+          dn[i] = an[i];
+        }
+        break;
+      }
+      case VecOp::kNegF64: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const double* av = a.f64.data();
+        const uint8_t* an = a.nulls.data();
+        double* d = dst.f64.data();
+        for (size_t i = 0; i < n; ++i) {
+          d[i] = -av[i];
+          dn[i] = an[i];
+        }
+        break;
+      }
+      case VecOp::kIsNull: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const uint8_t* an = a.nulls.data();
+        int64_t* d = dst.i64.data();
+        for (size_t i = 0; i < n; ++i) {
+          d[i] = an[i] != 0;
+          dn[i] = 0;
+        }
+        break;
+      }
+      case VecOp::kIsNotNull: {
+        const ColumnVector& a = Vec(insn.a, batch);
+        const uint8_t* an = a.nulls.data();
+        int64_t* d = dst.i64.data();
+        for (size_t i = 0; i < n; ++i) {
+          d[i] = an[i] == 0;
+          dn[i] = 0;
+        }
+        break;
+      }
+    }
+  }
+  return Vec(result_ref_, batch);
+}
+
+void CompiledExpr::RunFilter(const VectorBatch& batch, SelectionVector* sel) {
+  assert(result_type_ == DataType::kBool);
+  const ColumnVector& r = Run(batch);
+  const size_t n = batch.rows();
+  if (sel->idx.size() < n) sel->idx.resize(n);
+  const int64_t* v = r.i64.data();
+  const uint8_t* nu = r.nulls.data();
+  size_t cnt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Branch-free compaction: the write always happens, the cursor advances
+    // by the (non-NULL true) predicate result.
+    sel->idx[cnt] = static_cast<uint32_t>(i);
+    cnt += static_cast<size_t>((nu[i] == 0) & (v[i] != 0));
+  }
+  sel->count = cnt;
+}
+
+Value LaneValue(const ColumnVector& v, size_t i) {
+  if (v.nulls[i] != 0) return Value::Null(v.type);
+  switch (v.type) {
+    case DataType::kBool:
+      return Value::Bool(v.i64[i] != 0);
+    case DataType::kInt64:
+      return Value::Int64(v.i64[i]);
+    case DataType::kDouble:
+      return Value::Double(v.f64[i]);
+    case DataType::kDate:
+      return Value::Date(v.i64[i]);
+    case DataType::kString:
+      break;  // Strings are never vectorized.
+  }
+  return Value::Null(v.type);
+}
+
+}  // namespace bufferdb

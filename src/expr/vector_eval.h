@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "expr/expression.h"
+#include "expr/vector.h"
+
+namespace bufferdb {
+
+/// Type-specialized opcodes of the flat kernel programs CompiledExpr
+/// produces. Each opcode runs as one tight column-at-a-time loop; there is
+/// no per-lane dispatch, virtual call, or Value boxing (DESIGN.md §10).
+enum class VecOp : uint8_t {
+  kLoadConst,      // Splat an immediate (possibly NULL) into a register.
+  kCastI64ToF64,   // Widen int64/date lanes to double.
+  kAddI64,
+  kSubI64,
+  kMulI64,
+  kDivI64,         // Divisor 0 -> NULL lane, like the interpreter.
+  kAddF64,
+  kSubF64,
+  kMulF64,
+  kDivF64,         // Divisor 0.0 -> NULL lane.
+  kCmpEqI64,
+  kCmpNeI64,
+  kCmpLtI64,
+  kCmpLeI64,
+  kCmpGtI64,
+  kCmpGeI64,
+  kCmpEqF64,       // F64 comparisons replicate Value::Compare exactly,
+  kCmpNeF64,       // including its NaN behavior (NaN compares "equal").
+  kCmpLtF64,
+  kCmpLeF64,
+  kCmpGtF64,
+  kCmpGeF64,
+  kAnd,            // Kleene three-valued logic, branch-free on null masks.
+  kOr,
+  kNot,
+  kNegI64,
+  kNegF64,
+  kIsNull,         // Never NULL themselves.
+  kIsNotNull,
+};
+
+/// One instruction of a kernel program. Operand references (`a`, `b`) are
+/// virtual-register indexes unless the kInputRef bit is set, in which case
+/// the low bits index input_columns() and the operand reads the decoded
+/// column directly — column loads cost no copy.
+struct VecInsn {
+  static constexpr uint16_t kInputRef = 0x8000;
+
+  VecOp op;
+  uint16_t dst = 0;      // Destination register.
+  uint16_t a = 0;
+  uint16_t b = 0;
+  int64_t imm = 0;       // kLoadConst payload (doubles bit-cast).
+  bool imm_null = false;
+};
+
+/// A bound Expression tree flattened (post-order) into a linear program of
+/// type-specialized opcodes over virtual registers. Compiled once at plan
+/// time and cached in operator state; Run() executes the program over a
+/// decoded batch with one tight loop per opcode.
+///
+/// Coverage: all arithmetic, comparisons, AND/OR/NOT, IS [NOT] NULL,
+/// negation, literals and column references over bool/int64/double/date.
+/// Anything involving strings (string columns or literals, LIKE) is
+/// unsupported: Compile returns nullptr and the operator keeps the
+/// per-tuple interpreter — the fallback is never wrong, only slower.
+///
+/// Results are bit-for-bit identical to Expression::Evaluate, including
+/// null masks, div-by-zero -> NULL, Kleene AND/OR, and double comparison
+/// semantics (tests/vector_eval_equivalence_test.cc proves this
+/// differentially). One deliberate divergence: INT64_MIN / -1, undefined
+/// behavior in the interpreter, yields INT64_MIN here instead of a trap.
+class CompiledExpr {
+ public:
+  /// Flattens `expr` (bound to `schema`) into a kernel program, or returns
+  /// nullptr when the tree contains an unsupported node.
+  static std::unique_ptr<CompiledExpr> Compile(const Expression& expr,
+                                               const Schema& schema);
+
+  /// Distinct input columns the program reads; the caller decodes exactly
+  /// these into the VectorBatch (deduplicated across programs by the
+  /// RowBatchDecoder's caller).
+  const std::vector<int>& input_columns() const { return input_cols_; }
+
+  DataType result_type() const { return result_type_; }
+  size_t num_insns() const { return insns_.size(); }
+
+  /// Evaluates the program over `batch` (all input_columns() decoded,
+  /// batch.rows() lanes). The returned vector is owned by this CompiledExpr
+  /// and valid until the next Run/RunFilter call — except when the whole
+  /// expression is a bare column reference, in which case it aliases the
+  /// batch's decoded column.
+  const ColumnVector& Run(const VectorBatch& batch);
+
+  /// Predicate form: fills `sel` with the lanes whose result is non-NULL
+  /// true (EvaluatePredicate semantics), in lane order.
+  void RunFilter(const VectorBatch& batch, SelectionVector* sel);
+
+  /// True when this binary was built with AVX2 kernels (-mavx2 /
+  /// BUFFERDB_AVX2=ON). The intrinsic kernels produce bit-identical results
+  /// to the scalar loops; set_use_avx2(false) forces the scalar loops for
+  /// A/B benchmarking.
+  static bool AvxEnabled();
+  void set_use_avx2(bool v) { use_avx2_ = v; }
+
+ private:
+  CompiledExpr() = default;
+
+  struct Operand {
+    uint16_t ref;
+    DataType type;
+  };
+
+  bool CompileNode(const Expression& expr, Operand* out);
+  Operand EnsureF64(Operand o);
+  uint16_t NewReg(DataType type);
+  uint16_t AddInputColumn(int col, DataType type);
+  const ColumnVector& Vec(uint16_t ref, const VectorBatch& batch) const;
+
+  std::vector<VecInsn> insns_;
+  std::vector<int> input_cols_;
+  std::vector<DataType> input_types_;
+  std::vector<ColumnVector> regs_;
+  std::vector<DataType> reg_types_;
+  uint16_t result_ref_ = 0;
+  DataType result_type_ = DataType::kBool;
+  bool use_avx2_ = true;
+};
+
+/// Boxes lane `i` of `v` into a Value — the bridge from vectorized results
+/// back into row-wise consumers (aggregate accumulators, group keys). The
+/// boxed Value is identical to what Expression::Evaluate would have
+/// produced for that row.
+Value LaneValue(const ColumnVector& v, size_t i);
+
+}  // namespace bufferdb

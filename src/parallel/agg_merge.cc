@@ -22,7 +22,11 @@ std::vector<AggSpec> MakePartialAggSpecs(const std::vector<AggSpec>& specs) {
   std::vector<AggSpec> partial;
   for (size_t i = 0; i < specs.size(); ++i) {
     const AggSpec& spec = specs[i];
-    std::string prefix = "p" + std::to_string(i) + "_";
+    // Append-form (not `"p" + s + "_"`) to dodge gcc 12's -O3 -Wrestrict
+    // false positive (PR105651).
+    std::string prefix = "p";
+    prefix += std::to_string(i);
+    prefix += "_";
     switch (spec.func) {
       case AggFunc::kCountStar:
         partial.push_back(AggSpec{AggFunc::kCountStar, nullptr,
@@ -183,7 +187,13 @@ std::string AggregateMergeOperator::label() const {
   for (size_t i = 0; i < specs_.size(); ++i) {
     if (i > 0) out += ", ";
     out += AggFuncName(specs_[i].func);
-    if (specs_[i].arg != nullptr) out += "(" + specs_[i].arg->ToString() + ")";
+    if (specs_[i].arg != nullptr) {
+      // Append-form to dodge gcc 12's -O3 -Wrestrict false positive
+      // (PR105651).
+      out += "(";
+      out += specs_[i].arg->ToString();
+      out += ")";
+    }
   }
   out += ")";
   return out;

@@ -168,7 +168,10 @@ void ExchangeOperator::JoinWorkers() {
 std::string ExchangeOperator::label() const {
   std::string out = "Exchange(degree=" + std::to_string(num_children());
   if (cursor_ != nullptr) {
-    out += ", morsel=" + std::to_string(cursor_->morsel_rows());
+    // Append-form to dodge gcc 12's -O3 -Wrestrict false positive
+    // (PR105651).
+    out += ", morsel=";
+    out += std::to_string(cursor_->morsel_rows());
   }
   out += ")";
   return out;

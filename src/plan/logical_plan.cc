@@ -7,7 +7,12 @@ std::string LogicalQuery::ToString() const {
   for (size_t i = 0; i < tables.size(); ++i) {
     if (i > 0) out += ", ";
     out += tables[i]->name();
-    if (filters[i] != nullptr) out += " WHERE " + filters[i]->ToString();
+    if (filters[i] != nullptr) {
+      // Append-form to dodge gcc 12's -O3 -Wrestrict false positive
+      // (PR105651); same below.
+      out += " WHERE ";
+      out += filters[i]->ToString();
+    }
   }
   out += "]";
   for (const LogicalJoinEdge& edge : joins) {
@@ -16,20 +21,30 @@ std::string LogicalQuery::ToString() const {
            tables[edge.right_table]->schema().column(edge.right_col).name;
   }
   for (const ExprPtr& pred : cross_predicates) {
-    out += ", cross " + pred->ToString();
+    out += ", cross ";
+    out += pred->ToString();
   }
   out += ", select [";
   for (size_t i = 0; i < items.size(); ++i) {
     if (i > 0) out += ", ";
     if (items[i].is_aggregate) {
       out += AggFuncName(items[i].agg);
-      if (items[i].expr != nullptr) out += "(" + items[i].expr->ToString() + ")";
+      if (items[i].expr != nullptr) {
+        // Append-form to dodge gcc 12's -O3 -Wrestrict false positive
+        // (PR105651).
+        out += "(";
+        out += items[i].expr->ToString();
+        out += ")";
+      }
     } else {
       out += items[i].expr->ToString();
     }
   }
   out += "]";
-  if (having != nullptr) out += ", having " + having->ToString();
+  if (having != nullptr) {
+    out += ", having ";
+    out += having->ToString();
+  }
   if (distinct) out += ", distinct";
   out += "}";
   return out;

@@ -30,6 +30,16 @@ ExprPtr ColRef(const Schema& schema, int col) {
                                 schema.column(col).name);
 }
 
+// Propagates PlannerOptions::vectorize_expressions to every operator of a
+// finished (sub)tree. Operators compile their expressions at construction
+// time either way; the flag gates whether the batch path uses the programs.
+void SetVectorizedEval(Operator* op, bool v) {
+  op->set_vectorized_eval(v);
+  for (size_t i = 0; i < op->num_children(); ++i) {
+    SetVectorizedEval(op->child(i), v);
+  }
+}
+
 OperatorPtr MakeScan(Table* table, const ExprPtr& filter) {
   ExprPtr predicate = filter != nullptr ? filter->Clone() : nullptr;
   double selectivity =
@@ -308,6 +318,7 @@ Result<PhysicalPlanner::ParallelInput> PhysicalPlanner::BuildParallelInput(
       proj->set_estimated_rows(out.input_rows);
       frag = std::move(proj);
     }
+    SetVectorizedEval(frag.get(), options_.vectorize_expressions);
     fragments.push_back(std::move(frag));
   }
 
@@ -450,6 +461,8 @@ Result<OperatorPtr> PhysicalPlanner::CreatePlan(const LogicalQuery& query,
     plan->set_estimated_rows(
         std::min(rows, static_cast<double>(*query.limit)));
   }
+
+  SetVectorizedEval(plan.get(), options_.vectorize_expressions);
 
   if (options_.refine) {
     RefinementOptions refinement = options_.refinement;

@@ -50,6 +50,15 @@ struct PlannerOptions {
   /// tuple-at-a-time execution everywhere, the paper's setting; set e.g.
   /// Operator::kDefaultBatchSize to enable the batch path.
   size_t batch_size = 1;
+  /// Compile operator-owned expressions (filter predicates, project items,
+  /// join keys, group keys, aggregate arguments) into flat column-at-a-time
+  /// kernel programs at plan time (expr/vector_eval.h). Compilation happens
+  /// once per operator and is cached in operator state; batch-path execution
+  /// (batch_size > 1) then evaluates expressions vector-at-a-time.
+  /// Expressions the compiler does not cover (strings, LIKE) keep the
+  /// per-tuple interpreter automatically. Off forces the interpreter
+  /// everywhere (A/B measurement hook).
+  bool vectorize_expressions = true;
   /// Worker pool for Exchange operators; null = the process-global pool.
   parallel::ThreadPool* thread_pool = nullptr;
 };

@@ -55,7 +55,11 @@ std::string CallSequenceRecorder::Compressed(size_t min_run) const {
     i = j;
   }
   if (dropped_ > 0) {
-    out += "...(+" + std::to_string(dropped_) + " calls)";
+    // Append-form to dodge gcc 12's -O3 -Wrestrict false positive
+    // (PR105651).
+    out += "...(+";
+    out += std::to_string(dropped_);
+    out += " calls)";
   }
   return out;
 }

@@ -59,6 +59,11 @@ constexpr SizeSpec kSizes[] = {
     {FuncId::kColdErrorPaths, "cold_error_paths", 6000},
     {FuncId::kColdRecovery, "cold_recovery", 4500},
     {FuncId::kColdTypeCoercion, "cold_type_coercion", 3000},
+    // Vectorized expression kernels: the flat opcode dispatch loop plus the
+    // handful of tight per-type loops a compiled program touches. Much
+    // smaller than the tree-walking interpreter (expr_arith + expr_cmp =
+    // 4.0K) because there is no Value boxing, type dispatch, or recursion.
+    {FuncId::kVectorEvalCore, "vector_eval_core", 1200},
 };
 static_assert(sizeof(kSizes) / sizeof(kSizes[0]) == kNumFuncIds);
 

@@ -49,6 +49,11 @@ enum class FuncId : uint8_t {
   kColdErrorPaths,
   kColdRecovery,
   kColdTypeCoercion,
+  // Appended after the cold block (late additions stay at the end so the
+  // synthetic addresses of earlier functions never shift).
+  kVectorEvalCore,   // Compiled column-at-a-time expression kernels: flat
+                     // dispatch loop + tight per-opcode loops, much smaller
+                     // per-tuple working set than kExprArith + kExprCmp.
   kNumFuncs,
 };
 

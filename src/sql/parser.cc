@@ -444,18 +444,29 @@ class Parser {
 }  // namespace
 
 std::string ParseExpr::ToString() const {
+  // Append-form throughout (not `"(" + s + ...`) to dodge gcc 12's -O3
+  // -Wrestrict false positive (PR105651).
+  std::string out;
   switch (kind) {
     case Kind::kColumn:
       return column_name;
     case Kind::kLiteral:
       return literal.ToString();
     case Kind::kBinary:
-      return "(" + left->ToString() + " " + BinaryOpName(binary_op) + " " +
-             right->ToString() + ")";
+      out += "(";
+      out += left->ToString();
+      out += " ";
+      out += BinaryOpName(binary_op);
+      out += " ";
+      out += right->ToString();
+      out += ")";
+      return out;
     case Kind::kUnary:
-      return std::string("(") +
-             (unary_op == UnaryOp::kNot ? "NOT " : "-") + left->ToString() +
-             ")";
+      out += "(";
+      out += unary_op == UnaryOp::kNot ? "NOT " : "-";
+      out += left->ToString();
+      out += ")";
+      return out;
   }
   return "?";
 }

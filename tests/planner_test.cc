@@ -205,6 +205,59 @@ TEST_F(PlannerTest, HashJoinFallbackWhenNoIndex) {
                 catalog_->GetTable("customer")->num_rows())));
 }
 
+// Operator constructors fold constant subtrees before compiling the kernel
+// program, so a predicate written as `l_quantity < 10 + 15` plans (and
+// prints) as `l_quantity < 25`.
+TEST_F(PlannerTest, ConstantSubtreesFoldedAtPlanTime) {
+  OperatorPtr plan = MustPlan(
+      "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10 + 15");
+  const std::string printed = PrintPlan(*plan);
+  EXPECT_NE(printed.find("25"), std::string::npos) << printed;
+  EXPECT_EQ(printed.find("10 + 15"), std::string::npos) << printed;
+
+  auto folded = RunSql(
+      "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10 + 15");
+  auto plain = RunSql("SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25");
+  ASSERT_EQ(folded.size(), 1u);
+  EXPECT_EQ(folded[0][0], plain[0][0]);
+}
+
+TEST_F(PlannerTest, AggregateArgumentsFoldedAtPlanTime) {
+  // SUM(l_quantity * (2 + 3)) must fold the constant factor and agree with
+  // the pre-multiplied query.
+  auto folded = RunSql("SELECT SUM(l_quantity * (2 + 3)) FROM lineitem");
+  auto plain = RunSql("SELECT SUM(l_quantity * 5) FROM lineitem");
+  ASSERT_EQ(folded.size(), 1u);
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(folded[0][0], plain[0][0]);
+}
+
+// A/B hook: PlannerOptions::vectorize_expressions toggles the compiled
+// kernel programs per plan; results must be identical either way.
+TEST_F(PlannerTest, VectorizedAndInterpretedPlansAgree) {
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25",
+      "SELECT SUM(l_extendedprice), AVG(l_discount) FROM lineitem "
+      "WHERE l_shipdate <= DATE '1998-09-02'",
+      kQuery3,
+  };
+  for (const char* sql : queries) {
+    PlannerOptions vec;
+    vec.vectorize_expressions = true;
+    PlannerOptions interp;
+    interp.vectorize_expressions = false;
+    auto a = RunSql(sql, vec);
+    auto b = RunSql(sql, interp);
+    ASSERT_EQ(a.size(), b.size()) << sql;
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].size(), b[i].size()) << sql;
+      for (size_t j = 0; j < a[i].size(); ++j) {
+        EXPECT_EQ(a[i][j], b[i][j]) << sql << " row " << i << " col " << j;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bufferdb
 

@@ -172,12 +172,20 @@ TEST(TupleTest, ConcatRowsToStringMatchesManualBuild) {
 namespace bufferdb {
 namespace {
 
+// Append-form name builder: `"s" + std::to_string(i)` trips gcc 12's -O3
+// -Wrestrict false positive (PR105651) under -Werror.
+std::string NumberedName(const char* prefix, int i) {
+  std::string out = prefix;
+  out += std::to_string(i);
+  return out;
+}
+
 TEST(WideSchemaTest, FortyColumnsRoundTrip) {
   // Joined TPC-H schemas exceed 32 columns; the 64-bit null bitmap must
   // address all of them.
   std::vector<Column> cols;
   for (int i = 0; i < 40; ++i) {
-    cols.push_back(Column{"c" + std::to_string(i),
+    cols.push_back(Column{NumberedName("c", i),
                           i % 3 == 0 ? DataType::kString : DataType::kInt64});
   }
   Schema schema(cols);
@@ -187,7 +195,7 @@ TEST(WideSchemaTest, FortyColumnsRoundTrip) {
     if (i % 7 == 0) {
       b.SetNull(i);
     } else if (i % 3 == 0) {
-      b.SetString(i, "s" + std::to_string(i));
+      b.SetString(i, NumberedName("s", i));
     } else {
       b.SetInt64(i, i * 100);
     }
@@ -198,7 +206,7 @@ TEST(WideSchemaTest, FortyColumnsRoundTrip) {
     if (i % 7 == 0) {
       EXPECT_TRUE(v.IsNull(i)) << i;
     } else if (i % 3 == 0) {
-      EXPECT_EQ(v.GetString(i), "s" + std::to_string(i)) << i;
+      EXPECT_EQ(v.GetString(i), NumberedName("s", i)) << i;
     } else {
       EXPECT_EQ(v.GetInt64(i), i * 100) << i;
     }
@@ -208,10 +216,10 @@ TEST(WideSchemaTest, FortyColumnsRoundTrip) {
 TEST(WideSchemaTest, ConcatAcross32ColumnBoundary) {
   std::vector<Column> left_cols, right_cols;
   for (int i = 0; i < 30; ++i) {
-    left_cols.push_back(Column{"l" + std::to_string(i), DataType::kInt64});
+    left_cols.push_back(Column{NumberedName("l", i), DataType::kInt64});
   }
   for (int i = 0; i < 10; ++i) {
-    right_cols.push_back(Column{"r" + std::to_string(i), DataType::kInt64});
+    right_cols.push_back(Column{NumberedName("r", i), DataType::kInt64});
   }
   Schema left(left_cols), right(right_cols);
   Schema out = Schema::Concat(left, right);

@@ -27,6 +27,14 @@ see (see DESIGN.md section 9):
                             through the ThreadPool so shutdown, error
                             propagation and TSan coverage stay centralized.
                             Annotate with `// LINT: allow-thread(<reason>)`.
+  ENG006 scalar-eval        No per-tuple Expression::Evaluate /
+                            EvaluatePredicate calls inside NextBatch()
+                            bodies: the batch fast path must evaluate
+                            expressions through compiled kernel programs
+                            (expr/vector_eval.h). The deliberate interpreter
+                            fallback (compiler returned nullptr) is annotated
+                            `// allow-scalar-eval (fallback)` on the same or
+                            the preceding line.
 
 Usage:
   engine_lint.py [--root DIR] [--self-test] [paths ...]
@@ -53,6 +61,8 @@ SOURCE_EXTS = {".h", ".hpp", ".cc", ".cpp"}
 ALLOW_ALLOC = "LINT: allow-alloc"
 ALLOW_PARTIAL_OPERATOR = "LINT: allow-partial-operator"
 ALLOW_THREAD = "LINT: allow-thread"
+# Accepts both `// allow-scalar-eval (fallback)` and the LINT-prefixed form.
+ALLOW_SCALAR_EVAL = "allow-scalar-eval"
 
 
 @dataclass(frozen=True)
@@ -368,6 +378,40 @@ def check_thread_containment(path: str, raw: str, stripped: str) -> list[Finding
 
 
 # ---------------------------------------------------------------------------
+# ENG006: no per-tuple interpreter calls in NextBatch() bodies
+# ---------------------------------------------------------------------------
+
+BATCH_FUNC_DEF_RE = re.compile(
+    r"(?:size_t|std::size_t)\s+"
+    r"(?:[A-Za-z_]\w*\s*::\s*)*NextBatch\s*\([^;{}]*\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?(?:override\s*)?(?:final\s*)?\{"
+)
+
+SCALAR_EVAL_RE = re.compile(
+    r"\bEvaluatePredicate\s*\(|(?:\.|->)\s*Evaluate\s*\(")
+
+
+def check_scalar_eval(path: str, raw: str, stripped: str) -> list[Finding]:
+    findings: list[Finding] = []
+    allowed = annotated_lines(raw, ALLOW_SCALAR_EVAL)
+    raw_lines = raw.splitlines()
+    for m in BATCH_FUNC_DEF_RE.finditer(stripped):
+        open_idx = stripped.index("{", m.start())
+        end_idx = match_brace_block(stripped, open_idx)
+        body = stripped[open_idx:end_idx]
+        for hit in SCALAR_EVAL_RE.finditer(body):
+            line = line_of(stripped, open_idx + hit.start())
+            if is_annotated(raw_lines, allowed, line):
+                continue
+            findings.append(Finding(
+                path, line, "ENG006",
+                "per-tuple expression interpreter inside NextBatch(); use a "
+                "compiled kernel program (expr/vector_eval.h) or annotate the "
+                "fallback `// allow-scalar-eval (fallback)`"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -377,6 +421,7 @@ ALL_CHECKS = [
     check_operator_contract,
     check_header_hygiene,
     check_thread_containment,
+    check_scalar_eval,
 ]
 
 
@@ -494,6 +539,21 @@ void Spawn() { std::thread t([] {}); t.join(); }
 }  // namespace bufferdb
 """,
     ),
+    "src/exec/bad_scalar_eval.cc": (
+        "ENG006",
+        """\
+#include "exec/bad_scalar_eval.h"
+namespace bufferdb {
+size_t BadOp::NextBatch(const uint8_t** out, size_t max) {
+  size_t n = 0;
+  for (size_t i = 0; i < max; ++i) {
+    if (EvaluatePredicate(*predicate_, row_, schema_)) out[n++] = row_;
+  }
+  return n;
+}
+}  // namespace bufferdb
+""",
+    ),
 }
 
 SEEDED_CLEAN = {
@@ -523,7 +583,14 @@ const uint8_t* GoodOp::Next() {
 }
 size_t GoodOp::NextBatch(const uint8_t** out, size_t max) {
   (void)out;
+  // The annotated interpreter fallback must not trip ENG006.
+  Value v = evaluator_->Evaluate(row_);  // allow-scalar-eval (fallback)
+  (void)v;
   return max != 0 ? 0 : 0;
+}
+const uint8_t* GoodOp::NextHelper() {
+  // Evaluate outside NextBatch() (tuple-at-a-time path) is fine.
+  return EvaluatePredicate(*pred_, row_, schema_) ? row_ : nullptr;
 }
 }  // namespace bufferdb
 """,
