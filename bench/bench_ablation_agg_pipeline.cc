@@ -66,7 +66,7 @@ double Run(OperatorPtr plan, bool refine, const char* name) {
   ctx.cpu = &cpu;
   auto rows = ExecutePlanRows(plan.get(), &ctx);
   if (!rows.ok()) std::exit(1);
-  if (refine) std::printf("%s (refined):\n%s", name, PrintPlan(*plan).c_str());
+  if (refine) std::fprintf(stderr, "%s (refined):\n%s", name, PrintPlan(*plan).c_str());
   return cpu.Breakdown().seconds();
 }
 
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   Table* lineitem = catalog.GetTable("lineitem");
   const Schema& s = lineitem->schema();
 
-  std::printf("Ablation: grouped-aggregation pipeline shape (TPC-H Q1)\n\n");
+  std::fprintf(stderr, "Ablation: grouped-aggregation pipeline shape (TPC-H Q1)\n\n");
 
   auto hash_plan = [&] {
     auto agg = std::make_unique<HashAggregationOperator>(Scan(lineitem),
@@ -107,11 +107,11 @@ int main(int argc, char** argv) {
   double stream_orig = Run(stream_plan(), false, "stream");
   double stream_refined = Run(stream_plan(), true, "sort + stream aggregation");
 
-  std::printf("\n%-28s %12s %12s %12s\n", "pipeline", "original(s)",
+  std::fprintf(stderr, "\n%-28s %12s %12s %12s\n", "pipeline", "original(s)",
               "refined(s)", "improvement");
-  std::printf("%-28s %12.4f %12.4f %11.1f%%\n", "scan -> hash agg", hash_orig,
+  std::fprintf(stderr, "%-28s %12.4f %12.4f %11.1f%%\n", "scan -> hash agg", hash_orig,
               hash_refined, 100.0 * (1.0 - hash_refined / hash_orig));
-  std::printf("%-28s %12.4f %12.4f %11.1f%%\n", "scan -> sort -> stream agg",
+  std::fprintf(stderr, "%-28s %12.4f %12.4f %11.1f%%\n", "scan -> sort -> stream agg",
               stream_orig, stream_refined,
               100.0 * (1.0 - stream_refined / stream_orig));
   return 0;

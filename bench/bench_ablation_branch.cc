@@ -14,8 +14,8 @@ int main(int argc, char** argv) {
   double sf = ScaleFactorFromArgs(argc, argv);
   PrintJsonHeader("ablation_branch", sf);
   bufferdb::Catalog& catalog = SharedTpch(sf);
-  std::printf("Ablation: branch predictor model (Query 1)\n\n");
-  std::printf("%-10s %16s %16s %12s\n", "predictor", "mispred orig",
+  std::fprintf(stderr, "Ablation: branch predictor model (Query 1)\n\n");
+  std::fprintf(stderr, "%-10s %16s %16s %12s\n", "predictor", "mispred orig",
               "mispred buffered", "reduction");
   for (PredictorKind kind : {PredictorKind::kBimodal, PredictorKind::kGshare}) {
     RunOptions base;
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     QueryRun buffered = RunQuery(catalog, kQuery1, refined);
     uint64_t orig = original.breakdown.counters.mispredicts;
     uint64_t buf = buffered.breakdown.counters.mispredicts;
-    std::printf("%-10s %16llu %16llu %11.1f%%\n",
+    std::fprintf(stderr, "%-10s %16llu %16llu %11.1f%%\n",
                 kind == PredictorKind::kBimodal ? "bimodal" : "gshare",
                 static_cast<unsigned long long>(orig),
                 static_cast<unsigned long long>(buf),

@@ -61,21 +61,21 @@ int main(int argc, char** argv) {
   double sf = ScaleFactorFromArgs(argc, argv);
   PrintJsonHeader("ablation_copy", sf);
   Catalog& catalog = SharedTpch(sf);
-  std::printf("Ablation: pointer vs copying buffer (Query 1 template)\n\n");
+  std::fprintf(stderr, "Ablation: pointer vs copying buffer (Query 1 template)\n\n");
   auto original = RunQuery1Manually(catalog, false, false);
   auto pointer = RunQuery1Manually(catalog, true, false);
   auto copying = RunQuery1Manually(catalog, true, true);
-  std::printf("%-18s %12s %14s %14s\n", "variant", "sim sec", "L1D misses",
+  std::fprintf(stderr, "%-18s %12s %14s %14s\n", "variant", "sim sec", "L1D misses",
               "L2 misses");
   auto row = [](const char* name, const sim::CycleBreakdown& b) {
-    std::printf("%-18s %12.4f %14llu %14llu\n", name, b.seconds(),
+    std::fprintf(stderr, "%-18s %12.4f %14llu %14llu\n", name, b.seconds(),
                 static_cast<unsigned long long>(b.counters.l1d_misses),
                 static_cast<unsigned long long>(b.counters.l2_misses));
   };
   row("unbuffered", original);
   row("buffer (pointers)", pointer);
   row("buffer (copies)", copying);
-  std::printf("\ncopy overhead vs pointers: %+.2f%% elapsed\n",
+  std::fprintf(stderr, "\ncopy overhead vs pointers: %+.2f%% elapsed\n",
               100.0 * (copying.seconds() / pointer.seconds() - 1.0));
   return 0;
 }

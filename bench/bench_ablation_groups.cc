@@ -13,8 +13,8 @@ int main(int argc, char** argv) {
   double sf = ScaleFactorFromArgs(argc, argv);
   PrintJsonHeader("ablation_groups", sf);
   bufferdb::Catalog& catalog = SharedTpch(sf);
-  std::printf("Ablation: group merging vs buffer-everywhere\n\n");
-  std::printf("%-10s %14s %16s %8s %18s %8s\n", "query", "original(s)",
+  std::fprintf(stderr, "Ablation: group merging vs buffer-everywhere\n\n");
+  std::fprintf(stderr, "%-10s %14s %16s %8s %18s %8s\n", "query", "original(s)",
               "merged-groups(s)", "bufs", "buffer-everywhere", "bufs");
   struct Item {
     const char* name;
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     everywhere.refine = true;
     everywhere.refinement.merge_execution_groups = false;
     QueryRun ungrouped = RunQuery(catalog, item.sql, everywhere);
-    std::printf("%-10s %14.4f %16.4f %8d %18.4f %8d\n", item.name,
+    std::fprintf(stderr, "%-10s %14.4f %16.4f %8d %18.4f %8d\n", item.name,
                 original.breakdown.seconds(), grouped.breakdown.seconds(),
                 grouped.report.buffers_added, ungrouped.breakdown.seconds(),
                 ungrouped.report.buffers_added);

@@ -13,8 +13,8 @@ int main(int argc, char** argv) {
   double sf = ScaleFactorFromArgs(argc, argv);
   PrintJsonHeader("ablation_prefetch", sf);
   bufferdb::Catalog& catalog = SharedTpch(sf);
-  std::printf("Ablation: hardware prefetch on/off (Query 1, buffered)\n\n");
-  std::printf("%-10s %16s %16s %16s %16s\n", "size", "L2 miss (pf on)",
+  std::fprintf(stderr, "Ablation: hardware prefetch on/off (Query 1, buffered)\n\n");
+  std::fprintf(stderr, "%-10s %16s %16s %16s %16s\n", "size", "L2 miss (pf on)",
               "sec (pf on)", "L2 miss (pf off)", "sec (pf off)");
   for (size_t size : {100u, 1000u, 10000u, 50000u}) {
     RunOptions on;
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     RunOptions off = on;
     off.sim_config.hardware_prefetch = false;
     QueryRun without = RunQuery(catalog, kQuery1, off);
-    std::printf("%-10zu %16llu %16.4f %16llu %16.4f\n", size,
+    std::fprintf(stderr, "%-10zu %16llu %16.4f %16llu %16.4f\n", size,
                 static_cast<unsigned long long>(
                     with.breakdown.counters.l2_misses),
                 with.breakdown.seconds(),

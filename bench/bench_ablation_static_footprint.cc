@@ -13,8 +13,8 @@ int main(int argc, char** argv) {
   double sf = ScaleFactorFromArgs(argc, argv);
   PrintJsonHeader("ablation_static_footprint", sf);
   bufferdb::Catalog& catalog = SharedTpch(sf);
-  std::printf("Ablation: dynamic vs static footprint estimates (§6.1)\n\n");
-  std::printf("%-10s %14s %4s %16s %4s %18s\n", "query", "dynamic(s)",
+  std::fprintf(stderr, "Ablation: dynamic vs static footprint estimates (§6.1)\n\n");
+  std::fprintf(stderr, "%-10s %14s %4s %16s %4s %18s\n", "query", "dynamic(s)",
               "bufs", "static-est(s)", "bufs", "delta static/dyn");
   struct Item {
     const char* name;
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     static_opts.refinement.assume_static_footprints = true;
     QueryRun static_run = RunQuery(catalog, item.sql, static_opts);
 
-    std::printf("%-10s %14.4f %4d %16.4f %4d %17.2f%%\n", item.name,
+    std::fprintf(stderr, "%-10s %14.4f %4d %16.4f %4d %17.2f%%\n", item.name,
                 dynamic_run.breakdown.seconds(),
                 dynamic_run.report.buffers_added,
                 static_run.breakdown.seconds(),
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
                              dynamic_run.breakdown.seconds() -
                          1.0));
   }
-  std::printf(
+  std::fprintf(stderr, 
       "\nStatic estimates buffer pipelines that already fit in L1-I "
       "(Query 2),\npaying overhead for nothing — the reason §6.1 profiles "
       "dynamic call graphs.\n");

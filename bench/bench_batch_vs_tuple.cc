@@ -176,7 +176,9 @@ int main(int argc, char** argv) {
       SimRun(sim_items.get(), keep_fraction, batch, bench::BufferSizeArg());
 
   double speedup = tuple_best / batch_best;
-  std::printf(
+  char json[768];
+  std::snprintf(
+      json, sizeof(json),
       "{\"bench\": \"batch_vs_tuple\", \"rows\": %zu, \"key_range\": %lld, "
       "\"keep_fraction\": %.2f, \"batch_size\": %zu, \"iters\": %d, "
       "\"groups_out\": %zu, \"outputs_identical\": true, "
@@ -184,7 +186,7 @@ int main(int argc, char** argv) {
       "\"speedup\": %.3f, "
       "\"sim_rows\": %zu, \"sim_buffer_size\": %zu, "
       "\"sim_tuple_instructions\": %llu, \"sim_batch_instructions\": %llu, "
-      "\"sim_tuple_l1i_misses\": %llu, \"sim_batch_l1i_misses\": %llu}\n",
+      "\"sim_tuple_l1i_misses\": %llu, \"sim_batch_l1i_misses\": %llu}",
       rows, static_cast<long long>(key_range), keep_fraction, batch, iters,
       tuple_check.second.size(), tuple_best, batch_best, speedup, sim_rows,
       bench::BufferSizeArg(),
@@ -192,5 +194,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(sim_batch.instructions),
       static_cast<unsigned long long>(sim_tuple.l1i_misses),
       static_cast<unsigned long long>(sim_batch.l1i_misses));
+  bench::EmitJsonLine(json);
   return 0;
 }

@@ -173,7 +173,9 @@ int main(int argc, char** argv) {
     }
 
     const double n = static_cast<double>(num_rows);
-    std::printf(
+    char json[640];
+    std::snprintf(
+        json, sizeof(json),
         "{\"bench\": \"expr_eval\", \"predicate\": \"k * 7 + v > %lld\", "
         "\"rows\": %zu, \"batch_width\": %zu, \"iters\": %d, "
         "\"selected\": %zu, \"outputs_identical\": true, \"avx2\": %s, "
@@ -181,11 +183,12 @@ int main(int argc, char** argv) {
         "\"vectorized_ns_per_row\": %.2f, "
         "\"vectorized_avx2_ns_per_row\": %.2f, "
         "\"speedup_vectorized\": %.3f, \"speedup_avx2\": %.3f, "
-        "\"sink\": %zu}\n",
+        "\"sink\": %zu}",
         static_cast<long long>(threshold), num_rows, width, iters,
         sel_interp.size(), have_avx2 ? "true" : "false",
         interp_best / n * 1e9, scalar_best / n * 1e9, avx_best / n * 1e9,
         interp_best / scalar_best, interp_best / avx_best, sink);
+    bufferdb::bench::EmitJsonLine(json);
   }
   return 0;
 }

@@ -53,11 +53,11 @@ int main(int argc, char** argv) {
   const IndexInfo* orders_pk = catalog.GetIndex("orders_pk");
   const Schema& ls = lineitem->schema();
 
-  std::printf("Extension: batched index probes (Query 3, nested loop)\n\n");
-  std::printf("%-28s %12s %14s %14s\n", "plan", "sim sec", "L1I misses",
+  std::fprintf(stderr, "Extension: batched index probes (Query 3, nested loop)\n\n");
+  std::fprintf(stderr, "%-28s %12s %14s %14s\n", "plan", "sim sec", "L1I misses",
               "L1D misses");
   auto print = [](const char* name, const sim::CycleBreakdown& b) {
-    std::printf("%-28s %12.4f %14llu %14llu\n", name, b.seconds(),
+    std::fprintf(stderr, "%-28s %12.4f %14llu %14llu\n", name, b.seconds(),
                 static_cast<unsigned long long>(b.counters.l1i_misses),
                 static_cast<unsigned long long>(b.counters.l1d_misses));
   };
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
     std::snprintf(name, sizeof(name), "batched probes (batch=%zu)", batch);
     print(name, cpu.Breakdown());
   }
-  std::printf("\nBatched probes run the index code in long runs AND visit "
+  std::fprintf(stderr, "\nBatched probes run the index code in long runs AND visit "
               "B+-tree nodes in key order,\ncutting both instruction and "
               "data misses relative to tuple-at-a-time probing.\n");
   return 0;

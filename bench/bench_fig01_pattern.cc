@@ -34,7 +34,7 @@ void Run(Table* table, size_t buffer_size, const char* title) {
   auto rows = ExecutePlanRows(&agg, &ctx);
   if (!rows.ok()) std::exit(1);
 
-  std::printf("%s\n  %s\n  legend: %s\n  transitions: %llu\n\n", title,
+  std::fprintf(stderr, "%s\n  %s\n  legend: %s\n  transitions: %llu\n\n", title,
               recorder.Compressed(4).c_str(), recorder.Legend().c_str(),
               static_cast<unsigned long long>(recorder.Transitions()));
 }
@@ -44,7 +44,7 @@ void Run(Table* table, size_t buffer_size, const char* title) {
 int main(int argc, char** argv) {
   bufferdb::bench::PrintJsonHeader(
       "fig01_pattern", bufferdb::bench::ScaleFactorFromArgs(argc, argv));
-  std::printf("Figure 1: operator execution sequence (30-tuple input)\n\n");
+  std::fprintf(stderr, "Figure 1: operator execution sequence (30-tuple input)\n\n");
   auto table = profile::BuildSyntheticItems(30, /*seed=*/3);
   Run(table.get(), 0, "(a) original (demand-pull, one tuple per call):");
   Run(table.get(), 5, "(b) buffered (buffer size 5):");

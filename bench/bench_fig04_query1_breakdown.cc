@@ -12,11 +12,11 @@ int main(int argc, char** argv) {
   PrintJsonHeader("fig04_query1_breakdown", sf);
   bufferdb::Catalog& catalog = SharedTpch(sf);
   QueryRun run = RunQuery(catalog, kQuery1);
-  std::printf("Figure 4: Query 1, conventional demand-pull plan\n\n");
-  std::printf("plan:\n%s\n", run.plan_text.c_str());
-  std::printf("%s\n", run.breakdown.ToString("Query 1 (original)").c_str());
-  std::printf("result row: ");
-  for (const auto& v : run.rows[0]) std::printf("%s  ", v.ToString().c_str());
-  std::printf("\n");
+  std::fprintf(stderr, "Figure 4: Query 1, conventional demand-pull plan\n\n");
+  std::fprintf(stderr, "plan:\n%s\n", run.plan_text.c_str());
+  std::fprintf(stderr, "%s\n", run.breakdown.ToString("Query 1 (original)").c_str());
+  std::fprintf(stderr, "result row: ");
+  for (const auto& v : run.rows[0]) std::fprintf(stderr, "%s  ", v.ToString().c_str());
+  std::fprintf(stderr, "\n");
   return 0;
 }

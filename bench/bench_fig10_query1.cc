@@ -17,8 +17,8 @@ int main(int argc, char** argv) {
   options.refine = true;
   QueryRun buffered = RunQuery(catalog, kQuery1, options);
 
-  std::printf("Figure 10: Query 1 original vs buffered\n\n");
-  std::printf("%s\n", buffered.report.ToString().c_str());
+  std::fprintf(stderr, "Figure 10: Query 1 original vs buffered\n\n");
+  std::fprintf(stderr, "%s\n", buffered.report.ToString().c_str());
   PrintComparison("Query 1", original, buffered);
   return 0;
 }

@@ -14,11 +14,11 @@ int main(int argc, char** argv) {
   size_t rows = 20000;
   if (argc > 1) rows = static_cast<size_t>(atof(argv[1]) * 1000000);
   if (rows < 8192) rows = 20000;
-  std::printf("Figure 11: cardinality effects (table of %zu rows)\n\n", rows);
+  std::fprintf(stderr, "Figure 11: cardinality effects (table of %zu rows)\n\n", rows);
   auto result = bufferdb::CalibrateCardinalityThreshold(
       bufferdb::sim::SimConfig(), /*buffer_size=*/1000, rows);
-  std::printf("%s\n", result.ToString().c_str());
-  std::printf("-> cardinality threshold for the plan refiner: %.0f\n",
+  std::fprintf(stderr, "%s\n", result.ToString().c_str());
+  std::fprintf(stderr, "-> cardinality threshold for the plan refiner: %.0f\n",
               result.threshold);
   return 0;
 }

@@ -13,16 +13,16 @@ int main(int argc, char** argv) {
   PrintJsonHeader("fig12_buffer_size", sf);
   bufferdb::Catalog& catalog = SharedTpch(sf);
   QueryRun original = RunQuery(catalog, kQuery1);
-  std::printf("Figure 12: varied buffer sizes (Query 1)\n\n");
-  std::printf("%-12s %14s\n", "buffer size", "elapsed (sim s)");
-  std::printf("%-12s %14.4f\n", "original", original.breakdown.seconds());
+  std::fprintf(stderr, "Figure 12: varied buffer sizes (Query 1)\n\n");
+  std::fprintf(stderr, "%-12s %14s\n", "buffer size", "elapsed (sim s)");
+  std::fprintf(stderr, "%-12s %14.4f\n", "original", original.breakdown.seconds());
   for (size_t size : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u,
                       2048u, 4096u, 8192u, 16384u, 32768u}) {
     RunOptions options;
     options.refine = true;
     options.buffer_size = size;
     QueryRun run = RunQuery(catalog, kQuery1, options);
-    std::printf("%-12zu %14.4f\n", size, run.breakdown.seconds());
+    std::fprintf(stderr, "%-12zu %14.4f\n", size, run.breakdown.seconds());
   }
   return 0;
 }

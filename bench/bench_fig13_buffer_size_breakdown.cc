@@ -13,12 +13,12 @@ int main(int argc, char** argv) {
   double sf = ScaleFactorFromArgs(argc, argv);
   PrintJsonHeader("fig13_buffer_size_breakdown", sf);
   bufferdb::Catalog& catalog = SharedTpch(sf);
-  std::printf("Figure 13: breakdown vs buffer size (Query 1)\n\n");
-  std::printf("%-10s %12s %12s %12s %12s %12s\n", "size", "trace-miss",
+  std::fprintf(stderr, "Figure 13: breakdown vs buffer size (Query 1)\n\n");
+  std::fprintf(stderr, "%-10s %12s %12s %12s %12s %12s\n", "size", "trace-miss",
               "L2-miss", "br-mispred", "other", "total Mcyc");
   QueryRun original = RunQuery(catalog, kQuery1);
   const auto& ob = original.breakdown;
-  std::printf("%-10s %12.2f %12.2f %12.2f %12.2f %12.2f\n", "orig",
+  std::fprintf(stderr, "%-10s %12.2f %12.2f %12.2f %12.2f %12.2f\n", "orig",
               ob.l1i_penalty / 1e6, ob.l2_penalty / 1e6,
               ob.branch_penalty / 1e6, ob.other_cycles() / 1e6,
               ob.total_cycles() / 1e6);
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     options.buffer_size = size;
     QueryRun run = RunQuery(catalog, kQuery1, options);
     const auto& b = run.breakdown;
-    std::printf("%-10zu %12.2f %12.2f %12.2f %12.2f %12.2f\n", size,
+    std::fprintf(stderr, "%-10zu %12.2f %12.2f %12.2f %12.2f %12.2f\n", size,
                 b.l1i_penalty / 1e6, b.l2_penalty / 1e6,
                 b.branch_penalty / 1e6, b.other_cycles() / 1e6,
                 b.total_cycles() / 1e6);
@@ -36,8 +36,8 @@ int main(int argc, char** argv) {
 
   // §7.4's caveat: plans with large data structures (the hash table) see
   // large buffers compete for cache memory.
-  std::printf("\nhash-join plan (Query 3): large buffers vs the hash table\n");
-  std::printf("%-10s %14s %14s %12s\n", "size", "L2 misses", "L1D misses",
+  std::fprintf(stderr, "\nhash-join plan (Query 3): large buffers vs the hash table\n");
+  std::fprintf(stderr, "%-10s %14s %14s %12s\n", "size", "L2 misses", "L1D misses",
               "total Mcyc");
   for (size_t size : {1000u, 8192u, 65536u, 262144u}) {
     RunOptions options;
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     options.buffer_size = size;
     options.join_strategy = bufferdb::JoinStrategy::kHashJoin;
     QueryRun run = RunQuery(catalog, kQuery3, options);
-    std::printf("%-10zu %14llu %14llu %12.2f\n", size,
+    std::fprintf(stderr, "%-10zu %14llu %14llu %12.2f\n", size,
                 static_cast<unsigned long long>(
                     run.breakdown.counters.l2_misses),
                 static_cast<unsigned long long>(

@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
   refined.refine = true;
   QueryRun buffered = RunQuery(catalog, kQuery3, refined);
 
-  std::printf("Figure 16: Query 3, hash join plans\n\n");
-  std::printf("%s\n", buffered.report.ToString().c_str());
+  std::fprintf(stderr, "Figure 16: Query 3, hash join plans\n\n");
+  std::fprintf(stderr, "%s\n", buffered.report.ToString().c_str());
   PrintComparison("Hash join", original, buffered);
   return 0;
 }

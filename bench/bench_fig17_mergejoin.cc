@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
   refined.refine = true;
   QueryRun buffered = RunQuery(catalog, kQuery3, refined);
 
-  std::printf("Figure 17: Query 3, merge join plans\n\n");
-  std::printf("%s\n", buffered.report.ToString().c_str());
+  std::fprintf(stderr, "Figure 17: Query 3, merge join plans\n\n");
+  std::fprintf(stderr, "%s\n", buffered.report.ToString().c_str());
   PrintComparison("Merge join", original, buffered);
   return 0;
 }

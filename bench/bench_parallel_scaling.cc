@@ -66,12 +66,12 @@ int main(int argc, char** argv) {
   Catalog& catalog = SharedTpch(sf);
   int repeats = SmokeIters(7, 2);
 
-  std::printf(
+  std::fprintf(stderr, 
       "Parallel scaling: Query 1 (scan->filter->aggregate), refined plans\n"
       "hardware threads: %u, pool threads: %zu\n\n",
       std::thread::hardware_concurrency(),
       parallel::ThreadPool::Global().num_threads());
-  std::printf("%8s %14s %12s %10s\n", "degree", "best wall (s)", "Mrows/s",
+  std::fprintf(stderr, "%8s %14s %12s %10s\n", "degree", "best wall (s)", "Mrows/s",
               "speedup");
 
   size_t lineitem_rows = catalog.GetTable("lineitem")->num_rows();
@@ -80,11 +80,11 @@ int main(int argc, char** argv) {
     size_t rows = 0;
     double seconds = RunWallClock(catalog, degree, repeats, &rows);
     if (degree == 1) base_seconds = seconds;
-    std::printf("%8zu %14.4f %12.2f %9.2fx\n", degree, seconds,
+    std::fprintf(stderr, "%8zu %14.4f %12.2f %9.2fx\n", degree, seconds,
                 static_cast<double>(lineitem_rows) / seconds / 1e6,
                 base_seconds / seconds);
   }
-  std::printf(
+  std::fprintf(stderr, 
       "\n(speedup is bounded by physical cores; result row counts verified "
       "equal across degrees)\n");
   return 0;

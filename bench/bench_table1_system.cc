@@ -10,40 +10,40 @@ int main(int argc, char** argv) {
   bufferdb::bench::PrintJsonHeader(
       "table1_system", bufferdb::bench::ScaleFactorFromArgs(argc, argv));
   bufferdb::sim::SimConfig config;
-  std::printf("Table 1: simulated system specification\n");
-  std::printf("----------------------------------------------------\n");
-  std::printf("CPU clock                     %.1f GHz\n", config.clock_ghz);
-  std::printf("L1 I-cache (trace cache eq.)  %llu KB, %llu-way, %lluB lines\n",
+  std::fprintf(stderr, "Table 1: simulated system specification\n");
+  std::fprintf(stderr, "----------------------------------------------------\n");
+  std::fprintf(stderr, "CPU clock                     %.1f GHz\n", config.clock_ghz);
+  std::fprintf(stderr, "L1 I-cache (trace cache eq.)  %llu KB, %llu-way, %lluB lines\n",
               static_cast<unsigned long long>(config.l1i.capacity_bytes / 1024),
               static_cast<unsigned long long>(config.l1i.ways),
               static_cast<unsigned long long>(config.l1i.line_bytes));
-  std::printf("L1 D-cache                    %llu KB, %llu-way, %lluB lines\n",
+  std::fprintf(stderr, "L1 D-cache                    %llu KB, %llu-way, %lluB lines\n",
               static_cast<unsigned long long>(config.l1d.capacity_bytes / 1024),
               static_cast<unsigned long long>(config.l1d.ways),
               static_cast<unsigned long long>(config.l1d.line_bytes));
-  std::printf("L2 unified cache              %llu KB, %llu-way, %lluB lines\n",
+  std::fprintf(stderr, "L2 unified cache              %llu KB, %llu-way, %lluB lines\n",
               static_cast<unsigned long long>(config.l2.capacity_bytes / 1024),
               static_cast<unsigned long long>(config.l2.ways),
               static_cast<unsigned long long>(config.l2.line_bytes));
-  std::printf("ITLB                          %u entries, %uB pages\n",
+  std::fprintf(stderr, "ITLB                          %u entries, %uB pages\n",
               config.itlb_entries, config.page_bytes);
-  std::printf("Branch predictor              %s, %u entries\n",
+  std::fprintf(stderr, "Branch predictor              %s, %u entries\n",
               config.predictor == bufferdb::sim::PredictorKind::kBimodal
                   ? "bimodal 2-bit"
                   : "gshare",
               config.predictor_entries);
-  std::printf("Hardware prefetch             %s (%u streams, degree %u)\n",
+  std::fprintf(stderr, "Hardware prefetch             %s (%u streams, degree %u)\n",
               config.hardware_prefetch ? "yes" : "no",
               config.prefetch_streams, config.prefetch_degree);
-  std::printf("Trace cache miss latency      %.0f cycles\n",
+  std::fprintf(stderr, "Trace cache miss latency      %.0f cycles\n",
               config.l1i_miss_cycles);
-  std::printf("L1 data miss latency          %.0f cycles\n",
+  std::fprintf(stderr, "L1 data miss latency          %.0f cycles\n",
               config.l1d_miss_cycles);
-  std::printf("L2 miss latency               %.0f cycles\n",
+  std::fprintf(stderr, "L2 miss latency               %.0f cycles\n",
               config.l2_miss_cycles);
-  std::printf("Branch misprediction latency  %.0f cycles\n",
+  std::fprintf(stderr, "Branch misprediction latency  %.0f cycles\n",
               config.mispredict_cycles);
-  std::printf("ITLB miss latency             %.0f cycles\n",
+  std::fprintf(stderr, "ITLB miss latency             %.0f cycles\n",
               config.itlb_miss_cycles);
   return 0;
 }

@@ -16,29 +16,29 @@ int main(int argc, char** argv) {
   bufferdb::bench::PrintJsonHeader(
       "table2_footprints", bufferdb::bench::ScaleFactorFromArgs(argc, argv));
   auto table = bufferdb::profile::CalibrateFootprints();
-  std::printf("Table 2: Postgres-style instruction footprints (measured)\n");
-  std::printf("%s\n", table.ToString().c_str());
+  std::fprintf(stderr, "Table 2: Postgres-style instruction footprints (measured)\n");
+  std::fprintf(stderr, "%s\n", table.ToString().c_str());
 
   const CodeLayout& layout = CodeLayout::Default();
-  std::printf("Aggregate functions (binary sizes):\n");
+  std::fprintf(stderr, "Aggregate functions (binary sizes):\n");
   for (FuncId f : {FuncId::kAggCount, FuncId::kAggMin, FuncId::kAggMax,
                    FuncId::kAggSum, FuncId::kAggAvgExtra}) {
-    std::printf("  %-16s %5u bytes\n", layout.info(f).name,
+    std::fprintf(stderr, "  %-16s %5u bytes\n", layout.info(f).name,
                 layout.info(f).size_bytes);
   }
-  std::printf("  (AVG executes agg_sum + agg_avg_extra = %u bytes; see "
+  std::fprintf(stderr, "  (AVG executes agg_sum + agg_avg_extra = %u bytes; see "
               "DESIGN.md for the deviation from the paper's 6.3K)\n\n",
               layout.info(FuncId::kAggSum).size_bytes +
                   layout.info(FuncId::kAggAvgExtra).size_bytes);
 
   ModuleId q1[] = {ModuleId::kSeqScanFiltered, ModuleId::kAggregation};
-  std::printf("Combined footprints (shared functions counted once):\n");
-  std::printf("  Scan(pred) + Aggregation(COUNT)      = %llu bytes\n",
+  std::fprintf(stderr, "Combined footprints (shared functions counted once):\n");
+  std::fprintf(stderr, "  Scan(pred) + Aggregation(COUNT)      = %llu bytes\n",
               static_cast<unsigned long long>(table.CombinedBytes(q1)));
   ModuleId q3[] = {ModuleId::kSeqScanFiltered, ModuleId::kNestLoopJoin,
                    ModuleId::kIndexScan, ModuleId::kAggregation};
-  std::printf("  Scan(pred)+NestLoop+IndexScan+Agg    = %llu bytes\n",
+  std::fprintf(stderr, "  Scan(pred)+NestLoop+IndexScan+Agg    = %llu bytes\n",
               static_cast<unsigned long long>(table.CombinedBytes(q3)));
-  std::printf("  L1 instruction cache                 = 16384 bytes\n");
+  std::fprintf(stderr, "  L1 instruction cache                 = 16384 bytes\n");
   return 0;
 }

@@ -12,8 +12,8 @@ int main(int argc, char** argv) {
   double sf = ScaleFactorFromArgs(argc, argv);
   PrintJsonHeader("table3_join_improvement", sf);
   bufferdb::Catalog& catalog = SharedTpch(sf);
-  std::printf("Table 3: overall improvement (Query 3)\n\n");
-  std::printf("%-12s %14s %14s %12s\n", "join", "original(s)", "buffered(s)",
+  std::fprintf(stderr, "Table 3: overall improvement (Query 3)\n\n");
+  std::fprintf(stderr, "%-12s %14s %14s %12s\n", "join", "original(s)", "buffered(s)",
               "improvement");
   for (JoinStrategy strategy :
        {JoinStrategy::kIndexNestLoop, JoinStrategy::kHashJoin,
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     RunOptions refined = base;
     refined.refine = true;
     QueryRun buffered = RunQuery(catalog, kQuery3, refined);
-    std::printf("%-12s %14.4f %14.4f %11.1f%%\n",
+    std::fprintf(stderr, "%-12s %14.4f %14.4f %11.1f%%\n",
                 bufferdb::JoinStrategyName(strategy),
                 original.breakdown.seconds(), buffered.breakdown.seconds(),
                 100.0 * (1.0 - buffered.breakdown.seconds() /

@@ -14,8 +14,8 @@ int main(int argc, char** argv) {
   double sf = ScaleFactorFromArgs(argc, argv);
   PrintJsonHeader("table4_cpi", sf);
   bufferdb::Catalog& catalog = SharedTpch(sf);
-  std::printf("Table 4: CPI comparison (Query 3)\n\n");
-  std::printf("%-12s %10s %10s %16s %16s %10s\n", "join", "CPI orig",
+  std::fprintf(stderr, "Table 4: CPI comparison (Query 3)\n\n");
+  std::fprintf(stderr, "%-12s %10s %10s %16s %16s %10s\n", "join", "CPI orig",
               "CPI buf", "instr orig", "instr buf", "instr +%");
   for (JoinStrategy strategy :
        {JoinStrategy::kIndexNestLoop, JoinStrategy::kHashJoin,
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
                      static_cast<double>(
                          original.breakdown.counters.instructions) -
                  1.0);
-    std::printf("%-12s %10.3f %10.3f %16llu %16llu %9.2f%%\n",
+    std::fprintf(stderr, "%-12s %10.3f %10.3f %16llu %16llu %9.2f%%\n",
                 bufferdb::JoinStrategyName(strategy),
                 original.breakdown.cpi(), buffered.breakdown.cpi(),
                 static_cast<unsigned long long>(

@@ -76,15 +76,15 @@ int main(int argc, char** argv) {
        "AND l_shipdate < DATE '1995-10-01'"},
   };
 
-  std::printf("Table 5: TPC-H queries, original vs refined plans\n\n");
-  std::printf("%-24s %14s %14s %12s %8s\n", "query", "original(s)",
+  std::fprintf(stderr, "Table 5: TPC-H queries, original vs refined plans\n\n");
+  std::fprintf(stderr, "%-24s %14s %14s %12s %8s\n", "query", "original(s)",
               "buffered(s)", "improvement", "buffers");
   for (const NamedQuery& q : queries) {
     QueryRun original = RunQuery(catalog, q.sql);
     RunOptions refined;
     refined.refine = true;
     QueryRun buffered = RunQuery(catalog, q.sql, refined);
-    std::printf("%-24s %14.4f %14.4f %11.1f%% %8d\n", q.name,
+    std::fprintf(stderr, "%-24s %14.4f %14.4f %11.1f%% %8d\n", q.name,
                 original.breakdown.seconds(), buffered.breakdown.seconds(),
                 100.0 * (1.0 - buffered.breakdown.seconds() /
                                    original.breakdown.seconds()),

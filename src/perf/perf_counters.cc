@@ -1,0 +1,260 @@
+#include "perf/perf_counters.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace bufferdb::perf {
+
+HwCounters& HwCounters::operator+=(const HwCounters& other) {
+  cycles += other.cycles;
+  instructions += other.instructions;
+  l1i_misses += other.l1i_misses;
+  l1d_misses += other.l1d_misses;
+  itlb_misses += other.itlb_misses;
+  branch_misses += other.branch_misses;
+  time_enabled_ns += other.time_enabled_ns;
+  time_running_ns += other.time_running_ns;
+  return *this;
+}
+
+HwCounters HwCounters::operator-(const HwCounters& other) const {
+  // Saturating: totals are monotonic per thread, but a region that starts
+  // on one thread and is read from another after a reset could underflow.
+  auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  HwCounters d;
+  d.cycles = sub(cycles, other.cycles);
+  d.instructions = sub(instructions, other.instructions);
+  d.l1i_misses = sub(l1i_misses, other.l1i_misses);
+  d.l1d_misses = sub(l1d_misses, other.l1d_misses);
+  d.itlb_misses = sub(itlb_misses, other.itlb_misses);
+  d.branch_misses = sub(branch_misses, other.branch_misses);
+  d.time_enabled_ns = sub(time_enabled_ns, other.time_enabled_ns);
+  d.time_running_ns = sub(time_running_ns, other.time_running_ns);
+  return d;
+}
+
+bool HwCounters::AnyNonZero() const {
+  return (cycles | instructions | l1i_misses | l1d_misses | itlb_misses |
+          branch_misses) != 0;
+}
+
+std::string HwCounters::ToJson() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"cycles\": %llu, \"instructions\": %llu, \"l1i_misses\": %llu, "
+      "\"l1d_misses\": %llu, \"itlb_misses\": %llu, \"branch_misses\": %llu, "
+      "\"time_enabled_ns\": %llu, \"time_running_ns\": %llu}",
+      static_cast<unsigned long long>(cycles),
+      static_cast<unsigned long long>(instructions),
+      static_cast<unsigned long long>(l1i_misses),
+      static_cast<unsigned long long>(l1d_misses),
+      static_cast<unsigned long long>(itlb_misses),
+      static_cast<unsigned long long>(branch_misses),
+      static_cast<unsigned long long>(time_enabled_ns),
+      static_cast<unsigned long long>(time_running_ns));
+  return buf;
+}
+
+const char* HwEventName(HwEvent e) {
+  switch (e) {
+    case HwEvent::kCycles: return "cycles";
+    case HwEvent::kInstructions: return "instructions";
+    case HwEvent::kL1iMiss: return "l1i_miss";
+    case HwEvent::kL1dMiss: return "l1d_miss";
+    case HwEvent::kItlbMiss: return "itlb_miss";
+    case HwEvent::kBranchMiss: return "branch_miss";
+  }
+  return "?";
+}
+
+namespace {
+
+bool DisabledByEnv() {
+  const char* v = std::getenv("BUFFERDB_PERF_DISABLE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+#ifdef __linux__
+int ReadParanoidLevel() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "re");
+  if (f == nullptr) return -100;
+  int level = -100;
+  if (std::fscanf(f, "%d", &level) != 1) level = -100;
+  std::fclose(f);
+  return level;
+}
+
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+EventSpec SpecFor(HwEvent e) {
+  auto cache = [](uint64_t id, uint64_t op, uint64_t result) {
+    return id | (op << 8) | (result << 16);
+  };
+  switch (e) {
+    case HwEvent::kCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case HwEvent::kInstructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case HwEvent::kL1iMiss:
+      return {PERF_TYPE_HW_CACHE,
+              cache(PERF_COUNT_HW_CACHE_L1I, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS)};
+    case HwEvent::kL1dMiss:
+      return {PERF_TYPE_HW_CACHE,
+              cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS)};
+    case HwEvent::kItlbMiss:
+      return {PERF_TYPE_HW_CACHE,
+              cache(PERF_COUNT_HW_CACHE_ITLB, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS)};
+    case HwEvent::kBranchMiss:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES};
+  }
+  return {PERF_TYPE_HARDWARE, 0};
+}
+
+// ENG007: the perf_event_open syscall lives here and only here.
+int OpenEvent(HwEvent e, int group_fd) {
+  EventSpec spec = SpecFor(e);
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // The leader starts disabled and is enabled once the whole group has
+  // joined, so all members cover the same interval; members inherit the
+  // leader's run state.
+  if (group_fd < 0) attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING | PERF_FORMAT_ID;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+              /*flags=*/0UL));
+}
+#endif  // __linux__
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  fds_.fill(-1);
+  if (DisabledByEnv()) {
+    reason_ = "hardware counters disabled via BUFFERDB_PERF_DISABLE";
+    return;
+  }
+  OpenAll();
+}
+
+void PerfCounterGroup::OpenAll() {
+#ifndef __linux__
+  reason_ = "perf_event_open is Linux-only; this build has no PMU backend";
+#else
+  int first_errno = 0;
+  std::string missing;
+  for (int i = 0; i < kNumHwEvents; ++i) {
+    int fd = OpenEvent(static_cast<HwEvent>(i), leader_fd_);
+    if (fd < 0) {
+      if (first_errno == 0) first_errno = errno;
+      if (!missing.empty()) missing += ",";
+      missing += HwEventName(static_cast<HwEvent>(i));
+      continue;
+    }
+    fds_[static_cast<size_t>(i)] = fd;
+    if (leader_fd_ < 0) leader_fd_ = fd;
+    ++n_open_;
+  }
+  if (n_open_ == 0) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "perf_event_open failed for every event: %s "
+                  "(kernel.perf_event_paranoid=%d; no PMU exposed in this "
+                  "VM/container?)",
+                  std::strerror(first_errno), ReadParanoidLevel());
+    reason_ = buf;
+    return;
+  }
+  if (n_open_ < kNumHwEvents) {
+    reason_ = "events unavailable on this PMU: " + missing;
+  }
+  // Atomically start the whole group.
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#endif  // __linux__
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+#ifdef __linux__
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+#endif
+}
+
+HwCounters PerfCounterGroup::ReadNow() const {
+  HwCounters out;
+#ifdef __linux__
+  if (leader_fd_ < 0) return out;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+  // then {value, id} per event.
+  struct {
+    uint64_t nr;
+    uint64_t time_enabled;
+    uint64_t time_running;
+    struct {
+      uint64_t value;
+      uint64_t id;
+    } values[kNumHwEvents];
+  } data;
+  ssize_t n = read(leader_fd_, &data, sizeof(data));
+  if (n < static_cast<ssize_t>(3 * sizeof(uint64_t))) return out;
+  out.time_enabled_ns = data.time_enabled;
+  out.time_running_ns = data.time_running;
+  // Multiplex scaling: if the kernel time-sliced this group, extrapolate
+  // counts to the full enabled window (the standard perf tool behavior).
+  double scale = 1.0;
+  if (data.time_running != 0 && data.time_running < data.time_enabled) {
+    scale = static_cast<double>(data.time_enabled) /
+            static_cast<double>(data.time_running);
+  }
+  // The kernel reports values in group-join order; map them back to events
+  // by walking fds_ in the same order we opened them.
+  size_t slot = 0;
+  for (int i = 0; i < kNumHwEvents && slot < data.nr; ++i) {
+    if (fds_[static_cast<size_t>(i)] < 0) continue;
+    uint64_t v = data.values[slot++].value;
+    if (scale != 1.0) {
+      v = static_cast<uint64_t>(static_cast<double>(v) * scale);
+    }
+    switch (static_cast<HwEvent>(i)) {
+      case HwEvent::kCycles: out.cycles = v; break;
+      case HwEvent::kInstructions: out.instructions = v; break;
+      case HwEvent::kL1iMiss: out.l1i_misses = v; break;
+      case HwEvent::kL1dMiss: out.l1d_misses = v; break;
+      case HwEvent::kItlbMiss: out.itlb_misses = v; break;
+      case HwEvent::kBranchMiss: out.branch_misses = v; break;
+    }
+  }
+#endif  // __linux__
+  return out;
+}
+
+PerfCounterGroup& ThreadCounterGroup() {
+  thread_local PerfCounterGroup group;
+  return group;
+}
+
+}  // namespace bufferdb::perf

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace bufferdb::perf {
+
+/// The hardware events the engine observes — the real-machine analogue of
+/// sim::SimCounters. Field names intentionally mirror the simulator's so
+/// tools/validate_sim.py can compare the two side by side: `l1i_misses`
+/// here corresponds to the paper's trace-cache miss counter (the simulator's
+/// `l1i_misses`), `branch_misses` to `mispredicts`, `itlb_misses` to
+/// `itlb_misses`.
+struct HwCounters {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t l1i_misses = 0;
+  uint64_t l1d_misses = 0;
+  uint64_t itlb_misses = 0;
+  uint64_t branch_misses = 0;
+  /// Multiplexing metadata from the grouped read: when `time_running_ns` <
+  /// `time_enabled_ns` the kernel time-sliced the group against other PMU
+  /// users and the values above were already scaled by enabled/running.
+  uint64_t time_enabled_ns = 0;
+  uint64_t time_running_ns = 0;
+
+  HwCounters& operator+=(const HwCounters& other);
+  HwCounters operator-(const HwCounters& other) const;
+  bool AnyNonZero() const;
+
+  /// One JSON object, e.g. {"cycles": 123, ...} — no trailing newline.
+  std::string ToJson() const;
+};
+
+/// Index of each event within a PerfCounterGroup.
+enum class HwEvent : int {
+  kCycles = 0,
+  kInstructions,
+  kL1iMiss,
+  kL1dMiss,
+  kItlbMiss,
+  kBranchMiss,
+};
+inline constexpr int kNumHwEvents = 6;
+
+const char* HwEventName(HwEvent e);
+
+/// RAII wrapper around one perf_event_open(2) counter group bound to the
+/// calling thread (pid=0, cpu=-1): all events are opened under a common
+/// group leader and read back atomically with a single PERF_FORMAT_GROUP
+/// read(2), so a snapshot is consistent across events.
+///
+/// Degradation ladder (never fails construction):
+///  - `BUFFERDB_PERF_DISABLE` set (and not "0")  -> no-op backend, reason
+///    says so. Used by tests to force the fallback path deterministically.
+///  - non-Linux build                            -> no-op backend.
+///  - perf_event_open rejects every event (no PMU in the VM/container,
+///    `kernel.perf_event_paranoid` too strict, seccomp)  -> no-op backend,
+///    reason carries the syscall errno and the paranoid level.
+///  - a subset of events opens (common on older cores that lack e.g. the
+///    iTLB-miss cache event)                     -> partial backend:
+///    available() is true, the missing events read 0 and are listed in
+///    unavailable_reason().
+///
+/// Thread affinity: counters follow the thread that constructed the group.
+/// Under parallel execution every Exchange worker therefore needs its own
+/// group — ThreadCounterGroup() below hands out a lazily-built thread_local
+/// instance, which is how per-worker attribution stays race-free.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when at least one hardware event is being counted.
+  bool available() const { return n_open_ > 0; }
+
+  /// True when every event in HwEvent opened.
+  bool fully_available() const { return n_open_ == kNumHwEvents; }
+
+  bool event_supported(HwEvent e) const {
+    return fds_[static_cast<size_t>(e)] >= 0;
+  }
+
+  /// Why the backend is degraded; empty iff fully_available(). Always
+  /// populated on the no-op backend (the acceptance contract: the reason is
+  /// surfaced, not silently swallowed).
+  const std::string& unavailable_reason() const { return reason_; }
+
+  /// Snapshot of the running totals since construction (monotonic).
+  /// Multiplex-scaled; a no-op backend reads all-zero. Cost: one read(2).
+  HwCounters ReadNow() const;
+
+ private:
+  void OpenAll();
+
+  std::array<int, kNumHwEvents> fds_;  // -1 = event unavailable.
+  int leader_fd_ = -1;
+  int n_open_ = 0;
+  std::string reason_;
+};
+
+/// The calling thread's shared counter group, built on first use. All
+/// PerfRegions on a thread read this single group: one group per thread
+/// (instead of one per operator) keeps the PMU inside its 4-8 physical
+/// counter budget, so the kernel never has to multiplex profiled operators
+/// against each other and small bracketed windows stay accurate.
+PerfCounterGroup& ThreadCounterGroup();
+
+}  // namespace bufferdb::perf

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "perf/perf_counters.h"
+
+namespace bufferdb::perf {
+
+/// Scoped counter bracket: snapshots the thread's counter group (and the
+/// steady clock) on entry and accumulates the delta into the given sinks on
+/// destruction. Wall time is accumulated unconditionally, so attribution
+/// keeps working on hosts where the PMU backend degraded to a no-op.
+///
+///   {
+///     PerfRegion region(&stats.hw, &stats.wall_ns);
+///     ... bracketed work ...
+///   }   // stats.hw += delta, stats.wall_ns += elapsed
+///
+/// Regions nest naturally (the group totals are monotonic), which is how
+/// per-operator attribution measures *inclusive* costs: a parent operator's
+/// region contains its children's. Exclusive costs are derived by
+/// subtraction in QueryProfile.
+///
+/// A PerfRegion must be destroyed on the thread that created it — it reads
+/// ThreadCounterGroup(), which is thread-local.
+class PerfRegion {
+ public:
+  explicit PerfRegion(HwCounters* hw_sink, uint64_t* wall_ns_sink = nullptr)
+      : hw_sink_(hw_sink), wall_ns_sink_(wall_ns_sink) {
+    PerfCounterGroup& group = ThreadCounterGroup();
+    hw_active_ = hw_sink_ != nullptr && group.available();
+    if (hw_active_) begin_ = group.ReadNow();
+    if (wall_ns_sink_ != nullptr) {
+      wall_begin_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  PerfRegion(const PerfRegion&) = delete;
+  PerfRegion& operator=(const PerfRegion&) = delete;
+
+  ~PerfRegion() {
+    if (wall_ns_sink_ != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - wall_begin_;
+      *wall_ns_sink_ += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count());
+    }
+    if (hw_active_) {
+      *hw_sink_ += ThreadCounterGroup().ReadNow() - begin_;
+    }
+  }
+
+ private:
+  HwCounters* hw_sink_;
+  uint64_t* wall_ns_sink_;
+  bool hw_active_ = false;
+  HwCounters begin_;
+  std::chrono::steady_clock::time_point wall_begin_;
+};
+
+}  // namespace bufferdb::perf

@@ -1,0 +1,33 @@
+#include "perf/profiled_operator.h"
+
+#include <utility>
+
+#include "parallel/exchange.h"
+#include "sim/code_layout.h"
+
+namespace bufferdb::perf {
+
+namespace {
+
+OperatorPtr WrapRec(OperatorPtr op, QueryProfile* profile, int parent,
+                    int fragment) {
+  bool is_exchange =
+      dynamic_cast<parallel::ExchangeOperator*>(op.get()) != nullptr;
+  OperatorStats* stats = profile->AddNode(
+      op->label(), sim::ModuleName(op->module_id()), parent, fragment);
+  for (size_t i = 0; i < op->num_children(); ++i) {
+    int child_fragment = is_exchange ? static_cast<int>(i) : fragment;
+    op->SetChild(i, WrapRec(op->TakeChild(i), profile, stats->id,
+                            child_fragment));
+  }
+  return std::make_unique<ProfiledOperator>(std::move(op), stats);
+}
+
+}  // namespace
+
+OperatorPtr ProfilePlan(OperatorPtr root, QueryProfile* profile) {
+  if (root == nullptr) return root;
+  return WrapRec(std::move(root), profile, /*parent=*/-1, /*fragment=*/-1);
+}
+
+}  // namespace bufferdb::perf

@@ -41,6 +41,33 @@ SimCounters SimCounters::operator-(const SimCounters& other) const {
   return out;
 }
 
+std::string SimCounters::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"instructions\": %llu, \"module_calls\": %llu, "
+      "\"l1i_accesses\": %llu, \"l1i_misses\": %llu, "
+      "\"l1d_accesses\": %llu, \"l1d_misses\": %llu, "
+      "\"l2_accesses\": %llu, \"l2_misses\": %llu, \"l2_i_misses\": %llu, "
+      "\"l2_prefetch_hits\": %llu, \"itlb_accesses\": %llu, "
+      "\"itlb_misses\": %llu, \"branches\": %llu, \"mispredicts\": %llu}",
+      static_cast<unsigned long long>(instructions),
+      static_cast<unsigned long long>(module_calls),
+      static_cast<unsigned long long>(l1i_accesses),
+      static_cast<unsigned long long>(l1i_misses),
+      static_cast<unsigned long long>(l1d_accesses),
+      static_cast<unsigned long long>(l1d_misses),
+      static_cast<unsigned long long>(l2_accesses),
+      static_cast<unsigned long long>(l2_misses),
+      static_cast<unsigned long long>(l2_i_misses),
+      static_cast<unsigned long long>(l2_prefetch_hits),
+      static_cast<unsigned long long>(itlb_accesses),
+      static_cast<unsigned long long>(itlb_misses),
+      static_cast<unsigned long long>(branches),
+      static_cast<unsigned long long>(mispredicts));
+  return buf;
+}
+
 CycleBreakdown CycleBreakdown::FromCounters(const SimCounters& counters,
                                             const SimConfig& config) {
   CycleBreakdown b;

@@ -65,6 +65,11 @@ struct SimCounters {
 
   SimCounters& operator+=(const SimCounters& other);
   SimCounters operator-(const SimCounters& other) const;
+
+  /// One JSON object (no trailing newline) with every counter — the
+  /// simulated sibling of perf::HwCounters::ToJson(), emitted side by side
+  /// in bench output so tools/validate_sim.py can line the two up.
+  std::string ToJson() const;
 };
 
 /// Cycle-accounting breakdown in the paper's reporting format: the miss

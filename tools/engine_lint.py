@@ -35,6 +35,12 @@ see (see DESIGN.md section 9):
                             fallback (compiler returned nullptr) is annotated
                             `// allow-scalar-eval (fallback)` on the same or
                             the preceding line.
+  ENG007 syscall-containment perf_event_open / raw syscall() only appear
+                            under src/perf/ -- hardware-counter access goes
+                            through perf::PerfCounterGroup so the degraded
+                            no-PMU path, the fd lifetime and the paranoid-
+                            level diagnostics stay in one place. Annotate
+                            with `// LINT: allow-syscall(<reason>)`.
 
 Usage:
   engine_lint.py [--root DIR] [--self-test] [paths ...]
@@ -63,6 +69,7 @@ ALLOW_PARTIAL_OPERATOR = "LINT: allow-partial-operator"
 ALLOW_THREAD = "LINT: allow-thread"
 # Accepts both `// allow-scalar-eval (fallback)` and the LINT-prefixed form.
 ALLOW_SCALAR_EVAL = "allow-scalar-eval"
+ALLOW_SYSCALL = "LINT: allow-syscall"
 
 
 @dataclass(frozen=True)
@@ -412,6 +419,32 @@ def check_scalar_eval(path: str, raw: str, stripped: str) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# ENG007: perf_event_open / raw syscall() only under src/perf/
+# ---------------------------------------------------------------------------
+
+SYSCALL_RE = re.compile(r"\bperf_event_open\b|(?<![\w:])syscall\s*\(")
+
+
+def check_syscall_containment(path: str, raw: str, stripped: str) -> list[Finding]:
+    normalized = path.replace(os.sep, "/")
+    if "/perf/" in normalized or normalized.startswith("perf/"):
+        return []
+    allowed = annotated_lines(raw, ALLOW_SYSCALL)
+    raw_lines = raw.splitlines()
+    findings: list[Finding] = []
+    for m in SYSCALL_RE.finditer(stripped):
+        line = line_of(stripped, m.start())
+        if is_annotated(raw_lines, allowed, line):
+            continue
+        findings.append(Finding(
+            path, line, "ENG007",
+            "perf_event_open / raw syscall outside src/perf/; use "
+            "perf::PerfCounterGroup so PMU degradation and fd lifetime stay "
+            "centralized (or annotate `// LINT: allow-syscall(<reason>)`)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -422,6 +455,7 @@ ALL_CHECKS = [
     check_header_hygiene,
     check_thread_containment,
     check_scalar_eval,
+    check_syscall_containment,
 ]
 
 
@@ -539,6 +573,18 @@ void Spawn() { std::thread t([] {}); t.join(); }
 }  // namespace bufferdb
 """,
     ),
+    "src/exec/bad_syscall.cc": (
+        "ENG007",
+        """\
+#include <sys/syscall.h>
+#include <unistd.h>
+namespace bufferdb {
+long OpenCounter() {
+  return syscall(__NR_perf_event_open, nullptr, 0, -1, -1, 0);
+}
+}  // namespace bufferdb
+""",
+    ),
     "src/exec/bad_scalar_eval.cc": (
         "ENG006",
         """\
@@ -592,6 +638,24 @@ const uint8_t* GoodOp::NextHelper() {
   // Evaluate outside NextBatch() (tuple-at-a-time path) is fine.
   return EvaluatePredicate(*pred_, row_, schema_) ? row_ : nullptr;
 }
+}  // namespace bufferdb
+""",
+    "src/perf/good_syscall.cc": """\
+#include <sys/syscall.h>
+#include <unistd.h>
+namespace bufferdb::perf {
+// ENG007: perf_event_open lives under src/perf/, so this is the one place
+// a raw syscall is allowed without an annotation.
+long OpenCounter() { return syscall(__NR_perf_event_open, nullptr, 0, -1, -1, 0); }
+}  // namespace bufferdb::perf
+""",
+    "src/exec/good_annotated_syscall.cc": """\
+#include <unistd.h>
+namespace bufferdb {
+long ThreadId() {
+  return syscall(186);  // LINT: allow-syscall(gettid for log correlation)
+}
+// A comment mentioning syscall( or perf_event_open must not trip ENG007.
 }  // namespace bufferdb
 """,
 }

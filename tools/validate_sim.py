@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Simulator-fidelity check: does the CPU simulator predict real hardware?
+
+Consumes the JSON-lines output of `bench_sim_vs_hw` (one record per
+query x buffer-size configuration, each carrying the simulated AND the
+perf_event_open-measured L1i-miss counts for the original and the buffered
+plan) and answers two questions:
+
+  1. Direction agreement: for what fraction of configurations does the
+     simulator predict the correct *sign* of the buffered-vs-original L1i
+     delta?  The paper's core claim is directional (buffering reduces
+     instruction-cache misses), so this is the headline number; the
+     acceptance bar is >= 80%.
+  2. Rank correlation (Spearman): do configurations the simulator ranks as
+     bigger wins also show bigger wins on real hardware?  Reported
+     informationally -- PMU noise at smoke scale makes a hard gate on rho
+     too flaky.
+
+Hardware counters are unavailable on many CI runners (containers without a
+PMU, perf_event_paranoid >= 2).  Records with "hw_available": false are
+counted and skipped; if *no* record carries hardware data the script exits 0
+with a SKIPPED verdict unless --require-hw is given.  The simulated side is
+deterministic, so a basic sanity gate (buffering must not *increase*
+simulated L1i misses in any configuration) applies even without a PMU.
+
+Usage:
+  bench_sim_vs_hw --smoke | tools/validate_sim.py
+  tools/validate_sim.py results.jsonl [--min-agreement 0.8] [--require-hw]
+  tools/validate_sim.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def spearman_rho(xs: list[float], ys: list[float]) -> float | None:
+    """Spearman rank correlation with average ranks for ties.
+
+    Returns None when either side is constant (rho undefined).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        return None
+
+    def ranks(vals: list[float]) -> list[float]:
+        order = sorted(range(len(vals)), key=lambda i: vals[i])
+        rank = [0.0] * len(vals)
+        i = 0
+        while i < len(order):
+            j = i
+            while j + 1 < len(order) and vals[order[j + 1]] == vals[order[i]]:
+                j += 1
+            avg = (i + j) / 2.0 + 1.0
+            for k in range(i, j + 1):
+                rank[order[k]] = avg
+            i = j + 1
+        return rank
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = float(len(xs))
+    mx, my = sum(rx) / n, sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0.0 or vy == 0.0:
+        return None
+    return cov / (vx * vy) ** 0.5
+
+
+def load_records(stream) -> list[dict]:
+    records = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"validate_sim: not JSON: {line[:80]!r} ({exc})")
+        # Skip the run header and records from other benches.
+        if obj.get("bench") == "sim_vs_hw" and "config" in obj:
+            records.append(obj)
+    return records
+
+
+def validate(records: list[dict], min_agreement: float,
+             require_hw: bool, out=sys.stdout) -> int:
+    if not records:
+        print("validate_sim: FAIL: no sim_vs_hw records in input", file=out)
+        return 1
+
+    failures = 0
+    # Simulator-side sanity: deterministic, gated unconditionally. Only
+    # configurations where the refiner actually inserted buffers are expected
+    # to improve; zero-buffer configs must be exactly unchanged.
+    for r in records:
+        name = r["config"]
+        if r["buffers_added"] > 0:
+            if r["sim_buf_l1i"] >= r["sim_orig_l1i"]:
+                print(f"validate_sim: FAIL: {name}: buffering increased "
+                      f"simulated L1i misses ({r['sim_orig_l1i']} -> "
+                      f"{r['sim_buf_l1i']})", file=out)
+                failures += 1
+        elif r["sim_buf_l1i"] != r["sim_orig_l1i"]:
+            print(f"validate_sim: FAIL: {name}: refiner added no buffers "
+                  f"but simulated L1i changed ({r['sim_orig_l1i']} -> "
+                  f"{r['sim_buf_l1i']})", file=out)
+            failures += 1
+
+    hw = [r for r in records if r.get("hw_available")]
+    skipped = len(records) - len(hw)
+    if skipped:
+        print(f"validate_sim: {skipped}/{len(records)} records have no "
+              f"hardware counters (no PMU); skipped", file=out)
+
+    if not hw:
+        if require_hw:
+            print("validate_sim: FAIL: --require-hw but no record carries "
+                  "hardware counters", file=out)
+            return 1
+        verdict = "FAIL" if failures else "SKIPPED (sim-only checks passed)"
+        print(f"validate_sim: hw comparison {verdict}", file=out)
+        return 1 if failures else 0
+
+    # Direction agreement on buffered-vs-original L1i deltas. Ignore
+    # configurations whose deltas are too small to have a meaningful sign
+    # (hw delta within 2% of the original count, or sim delta zero).
+    agree = 0
+    considered = []
+    for r in hw:
+        sim_delta = r["sim_orig_l1i"] - r["sim_buf_l1i"]
+        hw_delta = r["hw_orig_l1i"] - r["hw_buf_l1i"]
+        if sim_delta == 0 or abs(hw_delta) < 0.02 * max(r["hw_orig_l1i"], 1):
+            continue
+        considered.append(r)
+        same = (sim_delta > 0) == (hw_delta > 0)
+        agree += same
+        mark = "ok" if same else "DISAGREE"
+        print(f"validate_sim: {r['config']}: sim dL1i={sim_delta} "
+              f"hw dL1i={hw_delta} [{mark}]", file=out)
+
+    if considered:
+        frac = agree / len(considered)
+        print(f"validate_sim: direction agreement {agree}/{len(considered)} "
+              f"= {frac:.0%} (bar {min_agreement:.0%})", file=out)
+        if frac < min_agreement:
+            failures += 1
+    else:
+        print("validate_sim: no configuration had a significant L1i delta; "
+              "direction check skipped", file=out)
+
+    rho = spearman_rho(
+        [float(r["sim_orig_l1i"] - r["sim_buf_l1i"]) for r in hw],
+        [float(r["hw_orig_l1i"] - r["hw_buf_l1i"]) for r in hw])
+    if rho is not None:
+        print(f"validate_sim: Spearman rho(sim dL1i, hw dL1i) = {rho:.3f} "
+              f"over {len(hw)} configs (informational)", file=out)
+
+    print(f"validate_sim: {'FAIL' if failures else 'PASS'}", file=out)
+    return 1 if failures else 0
+
+
+def _rec(config, sim_o, sim_b, hw_o, hw_b, hw_ok=True, buffers=1):
+    return {"bench": "sim_vs_hw", "config": config, "buffers_added": buffers,
+            "sim_orig_l1i": sim_o, "sim_buf_l1i": sim_b,
+            "hw_available": hw_ok, "hw_orig_l1i": hw_o, "hw_buf_l1i": hw_b}
+
+
+def self_test() -> int:
+    import io
+
+    # rho: perfect agreement, perfect inversion, ties.
+    assert spearman_rho([1, 2, 3], [10, 20, 30]) == 1.0
+    assert spearman_rho([1, 2, 3], [30, 20, 10]) == -1.0
+    assert spearman_rho([1, 1, 1], [1, 2, 3]) is None
+    r = spearman_rho([1, 2, 2, 4], [1, 3, 2, 4])
+    assert r is not None and 0.7 < r < 1.0
+
+    # All directions agree -> PASS.
+    good = [_rec("a", 1000, 100, 5000, 900),
+            _rec("b", 2000, 100, 9000, 800)]
+    assert validate(good, 0.8, False, io.StringIO()) == 0
+
+    # Hardware contradicts the simulator everywhere -> FAIL.
+    bad = [_rec("a", 1000, 100, 900, 5000),
+           _rec("b", 2000, 100, 800, 9000)]
+    assert validate(bad, 0.8, False, io.StringIO()) == 1
+
+    # No PMU: skipped unless required.
+    nohw = [_rec("a", 1000, 100, 0, 0, hw_ok=False)]
+    assert validate(nohw, 0.8, False, io.StringIO()) == 0
+    assert validate(nohw, 0.8, True, io.StringIO()) == 1
+
+    # Sim-side sanity gates fire even without hardware.
+    worse = [_rec("a", 100, 1000, 0, 0, hw_ok=False)]
+    assert validate(worse, 0.8, False, io.StringIO()) == 1
+    drift = [_rec("a", 100, 99, 0, 0, hw_ok=False, buffers=0)]
+    assert validate(drift, 0.8, False, io.StringIO()) == 1
+
+    # Tiny hw deltas (noise) are excluded from the direction vote.
+    noisy = [_rec("a", 1000, 100, 100000, 99999),
+             _rec("b", 2000, 100, 9000, 800)]
+    assert validate(noisy, 0.8, False, io.StringIO()) == 0
+
+    print("validate_sim: self-test OK")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input", nargs="?", help="JSON-lines file (default stdin)")
+    ap.add_argument("--min-agreement", type=float, default=0.8,
+                    help="direction-agreement bar (default 0.8)")
+    ap.add_argument("--require-hw", action="store_true",
+                    help="fail instead of skipping when no PMU data present")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if args.input:
+        with open(args.input, encoding="utf-8") as f:
+            records = load_records(f)
+    else:
+        records = load_records(sys.stdin)
+    return validate(records, args.min_agreement, args.require_hw)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
