@@ -1,0 +1,272 @@
+// Columnar scan vs row-decode scan (DESIGN.md §12), measured in wall-clock
+// time with the CPU simulator's i-cache counters alongside:
+//
+//   A. zero-decode:  ColumnScan aliases segment storage into the vectorized
+//      filter's input vectors vs SeqScan decoding the predicate columns out
+//      of packed rows every batch. Identical compiled predicate, identical
+//      output rows, batch width 1024.
+//   B. dictionary codes: a LIKE-prefix string predicate compiled to integer
+//      code comparisons on ColumnScan vs SeqScan's per-tuple interpreter
+//      (string predicates never compile for row scans).
+//
+// Both speedups are acceptance-gated IN the bench: after emitting its JSON
+// result line, the bench re-parses that line and exits nonzero unless
+// speedup_decode >= 1.5 and speedup_string >= 2.0. Output rows of each pair
+// are compared pointer-for-pointer before any timing is reported.
+//
+// Output is JSON lines only (the bench_util run header plus one result
+// object), so CI can archive stdout directly as an artifact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "exec/column_scan.h"
+#include "exec/seq_scan.h"
+#include "expr/expression.h"
+#include "sim/sim_cpu.h"
+#include "storage/column_table.h"
+
+namespace bufferdb {
+namespace {
+
+constexpr size_t kBenchBatch = 1024;
+
+ExprPtr Col(const Schema& schema, const std::string& name) {
+  auto r = MakeColumnRef(schema, name);
+  if (!r.ok()) {
+    std::fprintf(stderr, "column ref failed: %s\n", name.c_str());
+    std::exit(1);
+  }
+  return std::move(*r);
+}
+
+ExprPtr Bin(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto res = MakeBinary(op, std::move(l), std::move(r));
+  if (!res.ok()) {
+    std::fprintf(stderr, "expr build failed\n");
+    std::exit(1);
+  }
+  return std::move(*res);
+}
+
+// Wide table (12 numeric columns + 2 string columns) with a columnar image:
+// enough width that the row-decode path pays for several column extractions
+// per batch while the columnar path aliases them all.
+std::unique_ptr<Table> BuildWideTable(size_t rows, uint64_t seed) {
+  Schema schema({{"k", DataType::kInt64},
+                 {"a", DataType::kDouble},
+                 {"b", DataType::kDouble},
+                 {"c", DataType::kDouble},
+                 {"d", DataType::kDouble},
+                 {"e", DataType::kInt64},
+                 {"f", DataType::kInt64},
+                 {"g", DataType::kInt64},
+                 {"h", DataType::kInt64},
+                 {"p", DataType::kDouble},
+                 {"q", DataType::kDouble},
+                 {"t", DataType::kInt64},
+                 {"s", DataType::kString},
+                 {"u", DataType::kString}});
+  // Vocabulary with shared prefixes so the LIKE-prefix range spans several
+  // dictionary codes (~30% selectivity for 'sh%').
+  const char* kVocab[] = {"shipped", "shelved", "shipping", "pending",
+                          "packed",  "held",    "returned", "refunded",
+                          "lost",    "listed"};
+  auto table = std::make_unique<Table>("wide", schema);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<Value> v;
+    v.push_back(Value::Int64(rng.Uniform(0, 1 << 20)));
+    for (int j = 0; j < 4; ++j) v.push_back(Value::Double(rng.NextDouble()));
+    for (int j = 0; j < 4; ++j) v.push_back(Value::Int64(rng.Uniform(0, 999)));
+    v.push_back(Value::Double(rng.NextDouble() * 100.0));
+    v.push_back(Value::Double(rng.NextDouble() * 10.0));
+    v.push_back(Value::Int64(rng.Uniform(-50, 50)));
+    v.push_back(Value::String(kVocab[rng.Uniform(0, 9)]));
+    v.push_back(Value::String(kVocab[rng.Uniform(0, 9)]));
+    table->AppendRow(v);
+  }
+  table->AttachColumnar(ColumnarTable::Build(*table));
+  return table;
+}
+
+// a + b + c + d < 1.6: ~40% selectivity, four decoded (or aliased) double
+// columns feeding one compiled kernel program.
+ExprPtr NumericPredicate(const Schema& s) {
+  return Bin(BinaryOp::kLt,
+             Bin(BinaryOp::kAdd, Bin(BinaryOp::kAdd, Col(s, "a"), Col(s, "b")),
+                 Bin(BinaryOp::kAdd, Col(s, "c"), Col(s, "d"))),
+             MakeLiteral(Value::Double(1.6)));
+}
+
+ExprPtr StringPredicate(const Schema& s) {
+  return Bin(BinaryOp::kLike, Col(s, "s"), MakeLiteral(Value::String("sh%")));
+}
+
+OperatorPtr MakeScan(Table* table, const ExprPtr& pred, bool columnar) {
+  ExprPtr clone = pred != nullptr ? pred->Clone() : nullptr;
+  if (columnar) {
+    return std::make_unique<ColumnScanOperator>(table, std::move(clone));
+  }
+  return std::make_unique<SeqScanOperator>(table, std::move(clone));
+}
+
+// Drains the scan through NextBatch at width 1024 (no simulator attached)
+// and returns {wall seconds, emitted row pointers}. The row pointers land in
+// table storage for both scan types, so the outputs of a pair are comparable
+// pointer-for-pointer.
+std::pair<double, std::vector<const uint8_t*>> TimedRun(Table* table,
+                                                        const ExprPtr& pred,
+                                                        bool columnar) {
+  OperatorPtr plan = MakeScan(table, pred, columnar);
+  ExecContext ctx;
+  auto start = std::chrono::steady_clock::now();
+  auto rows = ExecutePlanBatched(plan.get(), &ctx, kBenchBatch);
+  auto stop = std::chrono::steady_clock::now();
+  if (!rows.ok()) {
+    std::fprintf(stderr, "exec failed: %s\n", rows.status().ToString().c_str());
+    std::exit(1);
+  }
+  return {std::chrono::duration<double>(stop - start).count(),
+          std::move(*rows)};
+}
+
+sim::SimCounters SimRun(Table* table, const ExprPtr& pred, bool columnar) {
+  OperatorPtr plan = MakeScan(table, pred, columnar);
+  sim::SimCpu cpu;
+  ExecContext ctx;
+  ctx.cpu = &cpu;
+  auto rows = ExecutePlanBatched(plan.get(), &ctx, kBenchBatch);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "sim exec failed: %s\n",
+                 rows.status().ToString().c_str());
+    std::exit(1);
+  }
+  return cpu.counters();
+}
+
+struct Comparison {
+  double row_best = 0;   // SeqScan (row-decode or interpreter).
+  double col_best = 0;   // ColumnScan.
+  size_t rows_out = 0;
+  double speedup() const { return row_best / col_best; }
+};
+
+Comparison Compare(Table* table, const ExprPtr& pred, int iters) {
+  auto row_run = TimedRun(table, pred, /*columnar=*/false);
+  auto col_run = TimedRun(table, pred, /*columnar=*/true);
+  if (row_run.second != col_run.second) {
+    std::fprintf(stderr,
+                 "FAIL: columnar output differs from row output "
+                 "(%zu vs %zu rows)\n",
+                 col_run.second.size(), row_run.second.size());
+    std::exit(1);
+  }
+  Comparison c;
+  c.row_best = row_run.first;
+  c.col_best = col_run.first;
+  c.rows_out = row_run.second.size();
+  for (int i = 1; i < iters; ++i) {
+    double r = TimedRun(table, pred, false).first;
+    double z = TimedRun(table, pred, true).first;
+    if (r < c.row_best) c.row_best = r;
+    if (z < c.col_best) c.col_best = z;
+  }
+  return c;
+}
+
+// Pulls `"key": <number>` out of a JSON line the bench just emitted; the
+// acceptance thresholds are checked against the published artifact, not
+// against in-memory state that could diverge from it.
+double JsonField(const std::string& json, const char* key) {
+  std::string needle = std::string("\"") + key + "\": ";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "FAIL: field %s missing from emitted JSON\n", key);
+    std::exit(1);
+  }
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+}  // namespace
+}  // namespace bufferdb
+
+int main(int argc, char** argv) {
+  using namespace bufferdb;  // NOLINT
+  double sf = bench::ScaleFactorFromArgs(argc, argv);
+  bench::PrintJsonHeader("columnar_scan", sf);
+
+  // The decode-elimination advantage is per-row, so the smoke run's smaller
+  // table measures the same effect; iterations keep timing noise below the
+  // acceptance margins.
+  const size_t rows = bench::SmokeMode() ? 200000 : 2000000;
+  const int iters = bench::SmokeIters(5, 3);
+  auto table = BuildWideTable(rows, /*seed=*/42);
+  const Schema& schema = table->schema();
+
+  ExprPtr numeric = NumericPredicate(schema);
+  ExprPtr stringp = StringPredicate(schema);
+
+  bench::Note("columnar_scan: %zu rows x %zu cols, batch %zu, %d iters\n",
+              rows, schema.num_columns(), kBenchBatch, iters);
+  Comparison decode = Compare(table.get(), numeric, iters);
+  Comparison strings = Compare(table.get(), stringp, iters);
+
+  // Simulated i-cache counters on a smaller table (the simulator is orders
+  // of magnitude slower than real execution).
+  auto sim_table = BuildWideTable(bench::SmokeMode() ? 20000 : 50000,
+                                  /*seed=*/42);
+  sim::SimCounters sim_row = SimRun(sim_table.get(), numeric, false);
+  sim::SimCounters sim_col = SimRun(sim_table.get(), numeric, true);
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"columnar_scan\", \"rows\": %zu, \"batch_size\": %zu, "
+      "\"iters\": %d, \"outputs_identical\": true, "
+      "\"decode_rows_out\": %zu, "
+      "\"row_decode_seconds\": %.6f, \"zero_decode_seconds\": %.6f, "
+      "\"speedup_decode\": %.3f, "
+      "\"string_rows_out\": %zu, "
+      "\"interp_seconds\": %.6f, \"dict_seconds\": %.6f, "
+      "\"speedup_string\": %.3f, "
+      "\"sim_row_instructions\": %llu, \"sim_col_instructions\": %llu, "
+      "\"sim_row_l1i_misses\": %llu, \"sim_col_l1i_misses\": %llu}",
+      rows, kBenchBatch, iters, decode.rows_out, decode.row_best,
+      decode.col_best, decode.speedup(), strings.rows_out, strings.row_best,
+      strings.col_best, strings.speedup(),
+      static_cast<unsigned long long>(sim_row.instructions),
+      static_cast<unsigned long long>(sim_col.instructions),
+      static_cast<unsigned long long>(sim_row.l1i_misses),
+      static_cast<unsigned long long>(sim_col.l1i_misses));
+  std::string line(json);
+  bench::EmitJsonLine(line);
+
+  // Acceptance gates, read back from the emitted artifact line.
+  double speedup_decode = JsonField(line, "speedup_decode");
+  double speedup_string = JsonField(line, "speedup_string");
+  bool ok = true;
+  if (speedup_decode < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: speedup_decode %.3f < 1.5 (zero-decode vs row-decode "
+                 "at batch %zu)\n",
+                 speedup_decode, kBenchBatch);
+    ok = false;
+  }
+  if (speedup_string < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: speedup_string %.3f < 2.0 (dictionary codes vs "
+                 "per-tuple interpreter)\n",
+                 speedup_string);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

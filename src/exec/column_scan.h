@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+#include "expr/vector.h"
+#include "expr/vector_eval.h"
+#include "parallel/morsel.h"
+#include "storage/column_table.h"
+#include "storage/table.h"
+
+namespace bufferdb {
+
+/// Batch-native scan over a table's columnar image (DESIGN.md §12). Emits
+/// the same packed-row pointers as SeqScan — the batch currency between
+/// operators is unchanged — but fills its VectorBatch by pointer-aliasing
+/// the columnar segments instead of decoding rows (zero copy, zero decode),
+/// publishes those vectors through BatchColumns() so consumers skip their
+/// own decode, prunes whole ~4K-row blocks via zone maps against constant
+/// predicate conjuncts, and evaluates string predicates on dictionary codes
+/// in the vectorized engine.
+///
+/// Each NextBatch() return is one contiguous run of table rows (possibly
+/// shorter than `max`; the NextBatch contract allows that), because only a
+/// contiguous run can alias contiguous segment storage. In morsel mode
+/// (BindMorselCursor) runs additionally stay inside claimed morsels,
+/// exactly like SeqScan.
+class ColumnScanOperator final : public Operator {
+ public:
+  /// `table` must carry a columnar image (Table::columnar() != nullptr);
+  /// `predicate` may be null and must be bound to the table schema.
+  ColumnScanOperator(Table* table, ExprPtr predicate);
+
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+  [[nodiscard]] Status Rescan() override;
+  size_t NextBatch(const uint8_t** out, size_t max) override;
+
+  const VectorBatch* BatchColumns() const override { return &published_; }
+
+  const Schema& output_schema() const override { return table_->schema(); }
+  sim::ModuleId module_id() const override {
+    return sim::ModuleId::kColumnScan;
+  }
+  std::string label() const override;
+
+  const Expression* predicate() const { return predicate_.get(); }
+  const Table* table() const { return table_; }
+
+  /// Non-null when the predicate compiled (dictionary-aware; string
+  /// equality/LIKE-prefix compile here even though they never do for
+  /// SeqScan).
+  const CompiledExpr* compiled_predicate() const { return compiled_.get(); }
+
+  /// Zone-map statistics for the current execution (test/bench hooks).
+  uint64_t blocks_pruned() const { return blocks_pruned_; }
+  uint64_t rows_pruned() const { return rows_pruned_; }
+
+  /// Morsel mode, identical to SeqScanOperator::BindMorselCursor.
+  void BindMorselCursor(parallel::MorselCursor* cursor) { morsels_ = cursor; }
+  bool morsel_mode() const { return morsels_ != nullptr; }
+
+ private:
+  /// True when block `block` cannot contain a qualifying row.
+  bool BlockPruned(size_t block) const;
+  /// Advances pos_ past pruned blocks / exhausted morsels; returns false at
+  /// end of stream. On true, [pos_, pos_ + *run) is the longest contiguous
+  /// unpruned run with *run <= max.
+  bool ClaimRun(size_t max, size_t* run);
+  /// Points vbatch_ (predicate inputs) at segment storage for rows
+  /// [pos_, pos_ + n), widening dictionary codes where flagged.
+  void FillPredicateInputs(size_t n);
+  /// Publishes rows [pos_, pos_ + n) by aliasing all non-string segments.
+  void PublishAliases(size_t n);
+  /// Publishes the survivors in sel_ by gathering predicate input columns.
+  void PublishCompacted(size_t n);
+
+  Table* table_;
+  const ColumnarTable* columnar_;
+  ExprPtr predicate_;
+  std::unique_ptr<CompiledExpr> compiled_;  // Null when no/uncompilable pred.
+  std::vector<ZoneConjunct> conjuncts_;     // Zone-map-usable conjuncts.
+  VectorBatch vbatch_;     // Predicate inputs (aliased or widened codes).
+  VectorBatch published_;  // BatchColumns() payload.
+  SelectionVector sel_;
+  parallel::MorselCursor* morsels_ = nullptr;
+  size_t pos_ = 0;
+  size_t limit_ = 0;  // End of the current morsel (or of the table).
+  uint64_t blocks_pruned_ = 0;
+  uint64_t rows_pruned_ = 0;
+};
+
+}  // namespace bufferdb

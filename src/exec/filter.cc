@@ -15,7 +15,34 @@ FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate)
 
 Status FilterOperator::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  published_.set_rows(0);
   return child(0)->Open(ctx);
+}
+
+void FilterOperator::PublishCompacted() {
+  published_.set_rows(sel_.count);
+  for (int col : compiled_->input_columns()) {
+    const ColumnVector& src = vbatch_.Get(col);
+    ColumnVector* dst = published_.Mutable(col);
+    dst->Reset(src.type, sel_.count);
+    uint8_t* dst_nulls = dst->nulls.data();
+    const uint8_t* src_nulls = src.null_data();
+    if (src.is_double()) {
+      const double* s = src.f64_data();
+      double* d = dst->f64.data();
+      for (size_t k = 0; k < sel_.count; ++k) {
+        d[k] = s[sel_.idx[k]];
+        dst_nulls[k] = src_nulls[sel_.idx[k]];
+      }
+    } else {
+      const int64_t* s = src.i64_data();
+      int64_t* d = dst->i64.data();
+      for (size_t k = 0; k < sel_.count; ++k) {
+        d[k] = s[sel_.idx[k]];
+        dst_nulls[k] = src_nulls[sel_.idx[k]];
+      }
+    }
+  }
 }
 
 const uint8_t* FilterOperator::Next() {
@@ -41,14 +68,18 @@ size_t FilterOperator::NextBatch(const uint8_t** out, size_t max) {
     }
     size_t n = 0;
     if (vectorized) {
-      RowBatchDecoder::Decode(in_batch_.data(), in_n, schema,
-                              compiled_->input_columns(), &vbatch_);
+      // Columns the child already published (ColumnScan aliases, an earlier
+      // Filter's compacted vectors) are aliased, the rest decoded.
+      RowBatchDecoder::DecodeMissing(in_batch_.data(), in_n, schema,
+                                     compiled_->input_columns(),
+                                     child(0)->BatchColumns(), &vbatch_);
       compiled_->RunFilter(vbatch_, &sel_);
       for (size_t i = 0; i < in_n; ++i) {
         ctx_->ExecModule(module_id(), hot_funcs_batched());
       }
       n = sel_.count;
       for (size_t k = 0; k < n; ++k) out[k] = in_batch_[sel_.idx[k]];
+      if (n > 0) PublishCompacted();
     } else {
       for (size_t i = 0; i < in_n; ++i) {
         ctx_->ExecModule(module_id(), hot_funcs_);

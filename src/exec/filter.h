@@ -36,16 +36,26 @@ class FilterOperator final : public Operator {
   sim::ModuleId module_id() const override { return sim::ModuleId::kFilter; }
   std::string label() const override;
 
+  /// Survivor-compacted predicate columns of the last vectorized batch, so
+  /// a consumer (Project, joins) re-reading those columns aliases them
+  /// instead of re-decoding the rows.
+  const VectorBatch* BatchColumns() const override { return &published_; }
+
   const Expression& predicate() const { return *predicate_; }
 
   /// Non-null when the predicate compiled to a kernel program (test hook).
   const CompiledExpr* compiled_predicate() const { return compiled_.get(); }
 
  private:
+  /// Gathers sel_ survivors of the predicate's input columns from vbatch_
+  /// into published_.
+  void PublishCompacted();
+
   ExprPtr predicate_;
   std::unique_ptr<CompiledExpr> compiled_;  // Compiled once, at plan time.
   std::vector<const uint8_t*> in_batch_;    // NextBatch scratch.
   VectorBatch vbatch_;
+  VectorBatch published_;  // BatchColumns() payload.
   SelectionVector sel_;
 };
 

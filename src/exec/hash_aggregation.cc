@@ -196,15 +196,15 @@ void HashAggregationOperator::SerializeLaneInto(size_t lane,
   out->clear();
   for (const ColumnVector* v : gvecs_) {
     out->push_back(static_cast<char>(v->type));
-    const bool is_null = v->nulls[lane] != 0;
+    const bool is_null = v->null_data()[lane] != 0;
     out->push_back(is_null ? 1 : 0);
     if (is_null) continue;
     // Strings never compile, so every payload is a fixed 8 bytes.
     if (v->is_double()) {
-      const double d = v->f64[lane];
+      const double d = v->f64_data()[lane];
       out->append(reinterpret_cast<const char*>(&d), 8);
     } else {
-      const int64_t i = v->i64[lane];
+      const int64_t i = v->i64_data()[lane];
       out->append(reinterpret_cast<const char*>(&i), 8);
     }
   }
@@ -243,8 +243,9 @@ void HashAggregationOperator::LoadBatched() {
       // Column-at-a-time: one decode of the union of input columns feeds
       // every group-key and argument program; key serialization and the
       // accumulator updates then read the result vectors lane-wise.
-      RowBatchDecoder::Decode(batch_rows_.data(), n, in_schema, decode_cols_,
-                              &vbatch_);
+      RowBatchDecoder::DecodeMissing(batch_rows_.data(), n, in_schema,
+                                     decode_cols_, child(0)->BatchColumns(),
+                                     &vbatch_);
       for (size_t g = 0; g < group_compiled_.size(); ++g) {
         gvecs_[g] = &group_compiled_[g]->Run(vbatch_);
       }

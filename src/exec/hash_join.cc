@@ -113,14 +113,15 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
       for (;;) {
         size_t n = child(1)->NextBatch(build_rows_.data(), build_rows_.size());
         if (n == 0) break;
-        RowBatchDecoder::Decode(build_rows_.data(), n, build_schema,
-                                build_compiled_->input_columns(),
-                                &build_vbatch_);
+        RowBatchDecoder::DecodeMissing(build_rows_.data(), n, build_schema,
+                                       build_compiled_->input_columns(),
+                                       child(1)->BatchColumns(),
+                                       &build_vbatch_);
         const ColumnVector& keys = build_compiled_->Run(build_vbatch_);
         for (size_t i = 0; i < n; ++i) {
           ctx_->ExecModule(sim::ModuleId::kHashJoinBuild, build_batch_funcs_);
-          if (keys.nulls[i] != 0) continue;  // NULL keys never match.
-          InsertBuildRow(keys.i64[i], build_rows_[i]);
+          if (keys.null_data()[i] != 0) continue;  // NULL keys never match.
+          InsertBuildRow(keys.i64_data()[i], build_rows_[i]);
         }
       }
     } else {
@@ -155,14 +156,16 @@ void HashJoinOperator::FetchProbeBatch() {
   if (probe_compiled_ != nullptr && vectorized_eval_) {
     // Column-at-a-time key evaluation for the whole batch, then the same
     // hash + bucket-prefetch pass over the key vector.
-    RowBatchDecoder::Decode(probe_rows_.data(), probe_count_, probe_schema,
-                            probe_compiled_->input_columns(), &probe_vbatch_);
+    RowBatchDecoder::DecodeMissing(probe_rows_.data(), probe_count_,
+                                   probe_schema,
+                                   probe_compiled_->input_columns(),
+                                   child(0)->BatchColumns(), &probe_vbatch_);
     const ColumnVector& keys = probe_compiled_->Run(probe_vbatch_);
     for (size_t i = 0; i < probe_count_; ++i) {
-      const bool valid = keys.nulls[i] == 0;
+      const bool valid = keys.null_data()[i] == 0;
       probe_valid_[i] = valid ? 1 : 0;
       if (!valid) continue;
-      probe_keys_[i] = keys.i64[i];
+      probe_keys_[i] = keys.i64_data()[i];
       uint64_t b = SplitMix64(static_cast<uint64_t>(probe_keys_[i])) & mask;
       probe_buckets_[i] = b;
       PrefetchRead(&buckets_[b]);

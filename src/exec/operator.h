@@ -11,6 +11,8 @@
 
 namespace bufferdb {
 
+class VectorBatch;
+
 /// Per-query execution state shared by all operators in a plan.
 ///
 /// The arena owns every intermediate tuple produced during the query, which
@@ -78,6 +80,16 @@ class Operator {
   /// Re-positions at the beginning without releasing state. Default
   /// implementation is Close+Open.
   [[nodiscard]] virtual Status Rescan();
+
+  /// Columns of the most recent NextBatch() result that this operator
+  /// already holds in SoA form (DESIGN.md §12): ColumnScan publishes
+  /// aliased segment storage, Filter/Project publish the vectors their own
+  /// kernels produced. A consumer passes this to
+  /// RowBatchDecoder::DecodeMissing so each column is decoded at most once
+  /// per pipeline. nullptr (the default) means nothing is published. The
+  /// returned batch is only valid for the rows of the producer's most
+  /// recent NextBatch() return and is invalidated by the next pull.
+  virtual const VectorBatch* BatchColumns() const { return nullptr; }
 
   virtual const Schema& output_schema() const = 0;
 

@@ -46,7 +46,21 @@ ProjectOperator::ProjectOperator(OperatorPtr child,
 
 Status ProjectOperator::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  published_.set_rows(0);
   return child(0)->Open(ctx);
+}
+
+void ProjectOperator::PublishResults(size_t n) {
+  published_.set_rows(n);
+  for (size_t c = 0; c < results_.size(); ++c) {
+    const ColumnVector& v = *results_[c];
+    ColumnVector* dst = published_.Mutable(static_cast<int>(c));
+    if (v.is_double()) {
+      dst->AliasF64(v.f64_data(), v.null_data());
+    } else {
+      dst->AliasI64(v.type, v.i64_data(), v.null_data());
+    }
+  }
 }
 
 const uint8_t* ProjectOperator::Next() {
@@ -74,8 +88,9 @@ size_t ProjectOperator::NextBatch(const uint8_t** out, size_t max) {
   }
   const Schema& in_schema = child(0)->output_schema();
   if (!compiled_.empty() && vectorized_eval_) {
-    RowBatchDecoder::Decode(in_batch_.data(), in_n, in_schema, decode_cols_,
-                            &vbatch_);
+    RowBatchDecoder::DecodeMissing(in_batch_.data(), in_n, in_schema,
+                                   decode_cols_, child(0)->BatchColumns(),
+                                   &vbatch_);
     for (size_t c = 0; c < compiled_.size(); ++c) {
       results_[c] = &compiled_[c]->Run(vbatch_);
     }
@@ -94,19 +109,20 @@ size_t ProjectOperator::NextBatch(const uint8_t** out, size_t max) {
       uint8_t* slot = row + Schema::kHeaderBytes;
       for (size_t c = 0; c < results_.size(); ++c, slot += 8) {
         const ColumnVector& v = *results_[c];
-        if (v.nulls[i] != 0) {
+        if (v.null_data()[i] != 0) {
           bitmap |= uint64_t{1} << c;
           std::memset(slot, 0, 8);  // Same normalization as TupleBuilder.
         } else if (v.is_double()) {
-          std::memcpy(slot, &v.f64[i], 8);
+          std::memcpy(slot, &v.f64_data()[i], 8);
         } else {
-          std::memcpy(slot, &v.i64[i], 8);
+          std::memcpy(slot, &v.i64_data()[i], 8);
         }
       }
       std::memcpy(row + 8, &bitmap, 8);
       ctx_->Touch(row, row_bytes);
       out[i] = row;
     }
+    PublishResults(in_n);
     return in_n;
   }
   TupleBuilder builder(&output_schema_);

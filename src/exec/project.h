@@ -38,10 +38,18 @@ class ProjectOperator final : public Operator {
   sim::ModuleId module_id() const override { return sim::ModuleId::kProject; }
   std::string label() const override { return "Project"; }
 
+  /// The result vectors of the last vectorized batch, keyed by OUTPUT
+  /// column index — a consumer evaluating expressions over this operator's
+  /// output aliases them instead of decoding the materialized rows.
+  const VectorBatch* BatchColumns() const override { return &published_; }
+
   /// True when all items compiled to kernel programs (test hook).
   bool all_items_compiled() const { return !compiled_.empty(); }
 
  private:
+  /// Aliases results_ into published_ for the `n` rows just produced.
+  void PublishResults(size_t n);
+
   std::vector<ProjectItem> items_;
   Schema output_schema_;
   // One program per item when ALL items compiled; empty otherwise
@@ -51,6 +59,7 @@ class ProjectOperator final : public Operator {
   std::vector<int> decode_cols_;  // Union of the programs' input columns.
   std::vector<const uint8_t*> in_batch_;  // NextBatch scratch.
   VectorBatch vbatch_;
+  VectorBatch published_;  // BatchColumns() payload.
   std::vector<const ColumnVector*> results_;
 };
 

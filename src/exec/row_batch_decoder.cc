@@ -51,4 +51,30 @@ void RowBatchDecoder::Decode(const uint8_t* const* rows, size_t n,
   }
 }
 
+void RowBatchDecoder::DecodeMissing(const uint8_t* const* rows, size_t n,
+                                    const Schema& schema,
+                                    std::span<const int> columns,
+                                    const VectorBatch* published,
+                                    VectorBatch* batch) {
+  batch->set_rows(n);
+  for (int col : columns) {
+    const ColumnVector* pub =
+        (published != nullptr && published->rows() == n)
+            ? published->Find(col)
+            : nullptr;
+    if (pub != nullptr) {
+      ColumnVector* vec = batch->Mutable(col);
+      if (pub->is_double()) {
+        vec->AliasF64(pub->f64_data(), pub->null_data());
+      } else {
+        vec->AliasI64(pub->type, pub->i64_data(), pub->null_data());
+      }
+      continue;
+    }
+    const int one[] = {col};
+    Decode(rows, n, schema, one, batch);
+  }
+  batch->set_rows(n);
+}
+
 }  // namespace bufferdb

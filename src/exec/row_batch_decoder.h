@@ -23,6 +23,18 @@ class RowBatchDecoder {
   static void Decode(const uint8_t* const* rows, size_t n,
                      const Schema& schema, std::span<const int> columns,
                      VectorBatch* batch);
+
+  /// Like Decode, but columns already present in `published` (the producing
+  /// child's BatchColumns(), covering exactly these `n` rows) are aliased
+  /// into `batch` instead of re-decoded — the fix for the repeated-decode
+  /// waste in Filter->Project chains: each column is materialized at most
+  /// once per pipeline, and never at all above a ColumnScan. `published`
+  /// may be nullptr (degrades to Decode). Aliased entries borrow the
+  /// producer's storage and follow the BatchColumns() lifetime rule: use
+  /// them before pulling the next batch from the producer.
+  static void DecodeMissing(const uint8_t* const* rows, size_t n,
+                            const Schema& schema, std::span<const int> columns,
+                            const VectorBatch* published, VectorBatch* batch);
 };
 
 }  // namespace bufferdb

@@ -102,8 +102,9 @@ const uint8_t* StreamAggregationOperator::NextVectorized() {
         input_done_ = true;
         return group_open_ ? EmitGroup() : nullptr;
       }
-      RowBatchDecoder::Decode(batch_rows_.data(), count_, in_schema,
-                              decode_cols_, &vbatch_);
+      RowBatchDecoder::DecodeMissing(batch_rows_.data(), count_, in_schema,
+                                     decode_cols_, child(0)->BatchColumns(),
+                                     &vbatch_);
       for (size_t g = 0; g < group_compiled_.size(); ++g) {
         gvecs_[g] = &group_compiled_[g]->Run(vbatch_);
       }

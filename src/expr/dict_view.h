@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bufferdb {
+
+/// Read-only view of a dictionary-encoded storage layer, consumed by the
+/// expression compiler (expr/vector_eval.cc) when it rewrites string
+/// predicates into comparisons on integer dictionary codes.
+///
+/// Defined here (not in storage/) so the expression layer never depends on
+/// storage headers; storage/column_table.h implements it. The contract the
+/// compiler relies on: codes are assigned from a dictionary sorted with
+/// byte-wise `std::string` ordering — the same ordering `Value::Compare`
+/// uses for strings — so ordered comparisons on codes are order-equivalent
+/// to comparisons on the strings themselves.
+class DictView {
+ public:
+  virtual ~DictView() = default;
+
+  /// True if `col` is dictionary-encoded (and the methods below apply).
+  virtual bool HasDict(int col) const = 0;
+
+  /// Code of `s` in `col`'s dictionary, or -1 when absent. Absence means an
+  /// equality against `s` can match no stored row.
+  virtual int64_t CodeOf(int col, std::string_view s) const = 0;
+
+  /// Half-open code range [*lo, *hi) of dictionary entries starting with
+  /// `prefix`. Returns false when the range cannot be computed (the caller
+  /// falls back to the interpreter); an empty range is returned as
+  /// *lo == *hi, which is valid and matches nothing.
+  virtual bool PrefixRange(int col, std::string_view prefix, int64_t* lo,
+                           int64_t* hi) const = 0;
+
+  /// Rank queries for ordered comparisons: number of dictionary entries
+  /// strictly less than `s` (LowerBound) / less-or-equal (UpperBound).
+  virtual int64_t LowerBound(int col, std::string_view s) const = 0;
+  virtual int64_t UpperBound(int col, std::string_view s) const = 0;
+};
+
+}  // namespace bufferdb

@@ -20,23 +20,64 @@ namespace bufferdb {
 /// NULL lane is zero (the same normalization TupleBuilder applies to null
 /// slots). Kernels may therefore read every lane branch-free — a NULL lane
 /// can never inject garbage (e.g. an INT64_MIN / -1 trap) into the result.
+///
+/// A vector either OWNS its lanes (the `i64`/`f64`/`nulls` vectors, filled
+/// by RowBatchDecoder or a kernel) or BORROWS them from columnar segment
+/// storage via the `ext_*` pointers (set by ColumnScan — zero copy, zero
+/// decode; DESIGN.md §12). Readers must go through the `*_data()` accessors,
+/// which resolve to whichever representation is active; writers always
+/// target the owned vectors (Reset clears any borrow first).
 struct ColumnVector {
   DataType type = DataType::kInt64;
   std::vector<int64_t> i64;
   std::vector<double> f64;
   std::vector<uint8_t> nulls;  // 1 = NULL.
+  const int64_t* ext_i64 = nullptr;
+  const double* ext_f64 = nullptr;
+  const uint8_t* ext_nulls = nullptr;
 
   bool is_double() const { return type == DataType::kDouble; }
+  bool aliased() const { return ext_nulls != nullptr; }
 
-  /// Prepares the vector to hold `n` lanes of `t`; never shrinks capacity.
+  const int64_t* i64_data() const { return ext_i64 ? ext_i64 : i64.data(); }
+  const double* f64_data() const { return ext_f64 ? ext_f64 : f64.data(); }
+  const uint8_t* null_data() const {
+    return ext_nulls ? ext_nulls : nulls.data();
+  }
+
+  /// Prepares the vector to own `n` lanes of `t`; never shrinks capacity.
+  /// Drops any segment borrow — callers that Reset then write lanes get the
+  /// owned representation.
   void Reset(DataType t, size_t n) {
     type = t;
+    ext_i64 = nullptr;
+    ext_f64 = nullptr;
+    ext_nulls = nullptr;
     nulls.resize(n);
     if (is_double()) {
       f64.resize(n);
     } else {
       i64.resize(n);
     }
+  }
+
+  /// Points this vector at integer-domain segment storage (kBool/kInt64/
+  /// kDate, or dictionary codes widened by the caller). Borrowed arrays must
+  /// outlive every read of this vector — in practice they belong to a
+  /// ColumnarTable, which outlives query execution.
+  void AliasI64(DataType t, const int64_t* vals, const uint8_t* null_bytes) {
+    type = t;
+    ext_i64 = vals;
+    ext_f64 = nullptr;
+    ext_nulls = null_bytes;
+  }
+
+  /// Points this vector at double segment storage.
+  void AliasF64(const double* vals, const uint8_t* null_bytes) {
+    type = DataType::kDouble;
+    ext_f64 = vals;
+    ext_i64 = nullptr;
+    ext_nulls = null_bytes;
   }
 };
 
@@ -73,6 +114,19 @@ class VectorBatch {
     assert(false && "column not decoded into this VectorBatch");
     return cols_.front().vec;
   }
+
+  /// The vector for `col` if present, else nullptr. Used by DecodeMissing
+  /// to alias columns a producer already published instead of re-decoding
+  /// them from packed rows.
+  const ColumnVector* Find(int col) const {
+    for (const Entry& e : cols_) {
+      if (e.col == col) return &e.vec;
+    }
+    return nullptr;
+  }
+
+  /// Drops all columns (capacity retained by the entry vector itself).
+  void Clear() { cols_.clear(); }
 
  private:
   struct Entry {

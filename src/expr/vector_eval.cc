@@ -27,13 +27,14 @@ void NullUnion(const uint8_t* an, const uint8_t* bn, size_t n, uint8_t* dn) {
   }
 }
 
+#if defined(__AVX2__)
+// The AVX2 kernels compute all lanes and fix up NULLs afterwards; the scalar
+// fallbacks fold the NULL check into the main loop instead.
 void ZeroNullLanesI64(int64_t* d, const uint8_t* dn, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     d[i] = dn[i] != 0 ? 0 : d[i];
   }
 }
-
-#if defined(__AVX2__)
 
 // AVX2 specializations for the int64 arithmetic/compare kernels. They
 // compute the same lane values as the scalar loops bit for bit; the null
@@ -389,6 +390,147 @@ uint16_t CompiledExpr::AddInputColumn(int col, DataType type) {
   return static_cast<uint16_t>(input_cols_.size() - 1);
 }
 
+uint16_t CompiledExpr::AddDictCodeInput(int col) {
+  // Codes are consumed as int64 lanes (ColumnScan widens the stored int32
+  // array); a string column is only ever referenced as codes, so the dedup
+  // in AddInputColumn can never mix representations of one column.
+  const uint16_t idx = AddInputColumn(col, DataType::kInt64);
+  if (input_is_code_.size() < input_cols_.size()) {
+    input_is_code_.resize(input_cols_.size(), 0);
+  }
+  input_is_code_[idx] = 1;
+  return static_cast<uint16_t>(VecInsn::kInputRef | idx);
+}
+
+uint16_t CompiledExpr::EmitConstI64(int64_t v) {
+  VecInsn insn;
+  insn.op = VecOp::kLoadConst;
+  insn.dst = NewReg(DataType::kInt64);
+  insn.imm = v;
+  insns_.push_back(insn);
+  return insn.dst;
+}
+
+uint16_t CompiledExpr::EmitBoolBinary(VecOp op, uint16_t a, uint16_t b) {
+  VecInsn insn;
+  insn.op = op;
+  insn.dst = NewReg(DataType::kBool);
+  insn.a = a;
+  insn.b = b;
+  insns_.push_back(insn);
+  return insn.dst;
+}
+
+/// String comparison / LIKE against dictionary-encoded storage. On return,
+/// `*handled` distinguishes "no string operands, use the regular path"
+/// (false) from "string case, `*out` holds the rewritten program" (true);
+/// a false return value means strings are involved but unrewritable and the
+/// whole compile must fail to the interpreter.
+bool CompiledExpr::TryCompileDictBinary(const BinaryExpr& b, bool* handled,
+                                        Operand* out) {
+  *handled = false;
+  const bool is_like = b.op() == BinaryOp::kLike;
+  if (!is_like && !IsComparison(b.op())) return true;
+  const bool l_str = b.left().result_type() == DataType::kString;
+  const bool r_str = b.right().result_type() == DataType::kString;
+  if (!l_str && !r_str) return true;
+  *handled = true;
+  if (dict_ == nullptr) return false;
+
+  // Normalize to `column <op> literal`. LIKE binds the pattern on the
+  // right; comparisons flip when the literal is on the left.
+  const Expression* col_side = &b.left();
+  const Expression* lit_side = &b.right();
+  BinaryOp op = b.op();
+  if (!is_like && col_side->kind() != ExprKind::kColumnRef &&
+      lit_side->kind() == ExprKind::kColumnRef) {
+    std::swap(col_side, lit_side);
+    switch (op) {
+      case BinaryOp::kLt: op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: op = BinaryOp::kLe; break;
+      default: break;  // kEq / kNe are symmetric.
+    }
+  }
+  if (col_side->kind() != ExprKind::kColumnRef ||
+      lit_side->kind() != ExprKind::kLiteral) {
+    return false;
+  }
+  const int col = static_cast<const ColumnRefExpr&>(*col_side).column();
+  const Value& lit = static_cast<const LiteralExpr&>(*lit_side).value();
+  // A NULL literal makes every lane NULL; rare enough to leave to the
+  // interpreter rather than special-case here.
+  if (lit.is_null() || lit.type() != DataType::kString) return false;
+  if (!dict_->HasDict(col)) return false;
+  const std::string& s = lit.string_value();
+
+  if (is_like) {
+    const bool has_wild = s.find_first_of("%_") != std::string::npos;
+    if (!has_wild) {
+      op = BinaryOp::kEq;  // `s LIKE 'abc'` is exact match.
+    } else {
+      // Rewritable pattern: literal prefix + single trailing '%'.
+      if (s.back() != '%' ||
+          s.find_first_of("%_") != s.size() - 1) {
+        return false;
+      }
+      std::string_view prefix(s.data(), s.size() - 1);
+      int64_t lo = 0;
+      int64_t hi = 0;
+      if (!dict_->PrefixRange(col, prefix, &lo, &hi)) return false;
+      const uint16_t code = AddDictCodeInput(col);
+      // `lo <= code AND code < hi`: NULL code lanes make both comparisons
+      // NULL and the Kleene AND NULL — exactly `NULL LIKE 'p%'`.
+      const uint16_t ge_lo =
+          EmitBoolBinary(VecOp::kCmpGeI64, code, EmitConstI64(lo));
+      const uint16_t lt_hi =
+          EmitBoolBinary(VecOp::kCmpLtI64, code, EmitConstI64(hi));
+      *out = Operand{EmitBoolBinary(VecOp::kAnd, ge_lo, lt_hi),
+                     DataType::kBool};
+      return true;
+    }
+  }
+
+  const uint16_t code = AddDictCodeInput(col);
+  VecOp cmp = VecOp::kCmpEqI64;
+  int64_t rank = 0;
+  switch (op) {
+    case BinaryOp::kEq:
+      // -1 when absent: matches no stored code, NULL for NULL lanes.
+      cmp = VecOp::kCmpEqI64;
+      rank = dict_->CodeOf(col, s);
+      break;
+    case BinaryOp::kNe:
+      cmp = VecOp::kCmpNeI64;
+      rank = dict_->CodeOf(col, s);
+      break;
+    // The dictionary is sorted, so order ranks translate ordered string
+    // comparisons: codes [0, LowerBound) are < s, [0, UpperBound) are <= s.
+    case BinaryOp::kLt:
+      cmp = VecOp::kCmpLtI64;
+      rank = dict_->LowerBound(col, s);
+      break;
+    case BinaryOp::kLe:
+      cmp = VecOp::kCmpLtI64;
+      rank = dict_->UpperBound(col, s);
+      break;
+    case BinaryOp::kGt:
+      cmp = VecOp::kCmpGeI64;
+      rank = dict_->UpperBound(col, s);
+      break;
+    case BinaryOp::kGe:
+      cmp = VecOp::kCmpGeI64;
+      rank = dict_->LowerBound(col, s);
+      break;
+    default:
+      return false;
+  }
+  *out = Operand{EmitBoolBinary(cmp, code, EmitConstI64(rank)),
+                 DataType::kBool};
+  return true;
+}
+
 CompiledExpr::Operand CompiledExpr::EnsureF64(Operand o) {
   if (IsF64(o.type)) return o;
   VecInsn insn;
@@ -456,6 +598,11 @@ bool CompiledExpr::CompileNode(const Expression& expr, Operand* out) {
     }
     case ExprKind::kBinary: {
       const auto& b = static_cast<const BinaryExpr&>(expr);
+      {
+        bool handled = false;
+        if (!TryCompileDictBinary(b, &handled, out)) return false;
+        if (handled) return true;
+      }
       if (b.op() == BinaryOp::kLike) return false;
       Operand l, r;
       if (!CompileNode(b.left(), &l)) return false;
@@ -527,7 +674,14 @@ bool CompiledExpr::CompileNode(const Expression& expr, Operand* out) {
 
 std::unique_ptr<CompiledExpr> CompiledExpr::Compile(const Expression& expr,
                                                     const Schema& schema) {
+  return Compile(expr, schema, nullptr);
+}
+
+std::unique_ptr<CompiledExpr> CompiledExpr::Compile(const Expression& expr,
+                                                    const Schema& schema,
+                                                    const DictView* dict) {
   auto compiled = std::unique_ptr<CompiledExpr>(new CompiledExpr());
+  compiled->dict_ = dict;
   Operand root;
   if (!compiled->CompileNode(expr, &root)) return nullptr;
   for (int col : compiled->input_cols_) {
@@ -539,6 +693,7 @@ std::unique_ptr<CompiledExpr> CompiledExpr::Compile(const Expression& expr,
   compiled->result_type_ = expr.result_type();
   assert(root.type == expr.result_type());
   compiled->regs_.resize(compiled->reg_types_.size());
+  compiled->dict_ = nullptr;  // Compile-time only; the program is standalone.
   return compiled;
 }
 
@@ -584,8 +739,8 @@ const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
       }
       case VecOp::kCastI64ToF64: {
         const ColumnVector& a = Vec(insn.a, batch);
-        const int64_t* av = a.i64.data();
-        const uint8_t* an = a.nulls.data();
+        const int64_t* av = a.i64_data();
+        const uint8_t* an = a.null_data();
         for (size_t i = 0; i < n; ++i) {
           dst.f64[i] = static_cast<double>(av[i]);
           dn[i] = an[i];
@@ -598,8 +753,8 @@ const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
       case VecOp::kDivI64: {
         const ColumnVector& a = Vec(insn.a, batch);
         const ColumnVector& b = Vec(insn.b, batch);
-        ArithI64(insn.op, a.i64.data(), a.nulls.data(), b.i64.data(),
-                 b.nulls.data(), n, dst.i64.data(), dn, use_avx2_);
+        ArithI64(insn.op, a.i64_data(), a.null_data(), b.i64_data(),
+                 b.null_data(), n, dst.i64.data(), dn, use_avx2_);
         break;
       }
       case VecOp::kAddF64:
@@ -608,8 +763,8 @@ const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
       case VecOp::kDivF64: {
         const ColumnVector& a = Vec(insn.a, batch);
         const ColumnVector& b = Vec(insn.b, batch);
-        ArithF64(insn.op, a.f64.data(), a.nulls.data(), b.f64.data(),
-                 b.nulls.data(), n, dst.f64.data(), dn);
+        ArithF64(insn.op, a.f64_data(), a.null_data(), b.f64_data(),
+                 b.null_data(), n, dst.f64.data(), dn);
         break;
       }
       case VecOp::kCmpEqI64:
@@ -620,8 +775,8 @@ const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
       case VecOp::kCmpGeI64: {
         const ColumnVector& a = Vec(insn.a, batch);
         const ColumnVector& b = Vec(insn.b, batch);
-        CmpI64(insn.op, a.i64.data(), a.nulls.data(), b.i64.data(),
-               b.nulls.data(), n, dst.i64.data(), dn, use_avx2_);
+        CmpI64(insn.op, a.i64_data(), a.null_data(), b.i64_data(),
+               b.null_data(), n, dst.i64.data(), dn, use_avx2_);
         break;
       }
       case VecOp::kCmpEqF64:
@@ -632,28 +787,28 @@ const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
       case VecOp::kCmpGeF64: {
         const ColumnVector& a = Vec(insn.a, batch);
         const ColumnVector& b = Vec(insn.b, batch);
-        CmpF64(insn.op, a.f64.data(), a.nulls.data(), b.f64.data(),
-               b.nulls.data(), n, dst.i64.data(), dn);
+        CmpF64(insn.op, a.f64_data(), a.null_data(), b.f64_data(),
+               b.null_data(), n, dst.i64.data(), dn);
         break;
       }
       case VecOp::kAnd: {
         const ColumnVector& a = Vec(insn.a, batch);
         const ColumnVector& b = Vec(insn.b, batch);
-        KleeneAnd(a.i64.data(), a.nulls.data(), b.i64.data(), b.nulls.data(),
+        KleeneAnd(a.i64_data(), a.null_data(), b.i64_data(), b.null_data(),
                   n, dst.i64.data(), dn);
         break;
       }
       case VecOp::kOr: {
         const ColumnVector& a = Vec(insn.a, batch);
         const ColumnVector& b = Vec(insn.b, batch);
-        KleeneOr(a.i64.data(), a.nulls.data(), b.i64.data(), b.nulls.data(),
+        KleeneOr(a.i64_data(), a.null_data(), b.i64_data(), b.null_data(),
                  n, dst.i64.data(), dn);
         break;
       }
       case VecOp::kNot: {
         const ColumnVector& a = Vec(insn.a, batch);
-        const int64_t* av = a.i64.data();
-        const uint8_t* an = a.nulls.data();
+        const int64_t* av = a.i64_data();
+        const uint8_t* an = a.null_data();
         int64_t* d = dst.i64.data();
         for (size_t i = 0; i < n; ++i) {
           d[i] = (an[i] == 0) & (av[i] == 0);
@@ -663,8 +818,8 @@ const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
       }
       case VecOp::kNegI64: {
         const ColumnVector& a = Vec(insn.a, batch);
-        const int64_t* av = a.i64.data();
-        const uint8_t* an = a.nulls.data();
+        const int64_t* av = a.i64_data();
+        const uint8_t* an = a.null_data();
         int64_t* d = dst.i64.data();
         // NULL lanes carry payload 0, and -0 == 0, so no select is needed.
         for (size_t i = 0; i < n; ++i) {
@@ -675,8 +830,8 @@ const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
       }
       case VecOp::kNegF64: {
         const ColumnVector& a = Vec(insn.a, batch);
-        const double* av = a.f64.data();
-        const uint8_t* an = a.nulls.data();
+        const double* av = a.f64_data();
+        const uint8_t* an = a.null_data();
         double* d = dst.f64.data();
         for (size_t i = 0; i < n; ++i) {
           d[i] = -av[i];
@@ -686,7 +841,7 @@ const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
       }
       case VecOp::kIsNull: {
         const ColumnVector& a = Vec(insn.a, batch);
-        const uint8_t* an = a.nulls.data();
+        const uint8_t* an = a.null_data();
         int64_t* d = dst.i64.data();
         for (size_t i = 0; i < n; ++i) {
           d[i] = an[i] != 0;
@@ -696,7 +851,7 @@ const ColumnVector& CompiledExpr::Run(const VectorBatch& batch) {
       }
       case VecOp::kIsNotNull: {
         const ColumnVector& a = Vec(insn.a, batch);
-        const uint8_t* an = a.nulls.data();
+        const uint8_t* an = a.null_data();
         int64_t* d = dst.i64.data();
         for (size_t i = 0; i < n; ++i) {
           d[i] = an[i] == 0;
@@ -714,8 +869,8 @@ void CompiledExpr::RunFilter(const VectorBatch& batch, SelectionVector* sel) {
   const ColumnVector& r = Run(batch);
   const size_t n = batch.rows();
   if (sel->idx.size() < n) sel->idx.resize(n);
-  const int64_t* v = r.i64.data();
-  const uint8_t* nu = r.nulls.data();
+  const int64_t* v = r.i64_data();
+  const uint8_t* nu = r.null_data();
   size_t cnt = 0;
   for (size_t i = 0; i < n; ++i) {
     // Branch-free compaction: the write always happens, the cursor advances
@@ -727,16 +882,16 @@ void CompiledExpr::RunFilter(const VectorBatch& batch, SelectionVector* sel) {
 }
 
 Value LaneValue(const ColumnVector& v, size_t i) {
-  if (v.nulls[i] != 0) return Value::Null(v.type);
+  if (v.null_data()[i] != 0) return Value::Null(v.type);
   switch (v.type) {
     case DataType::kBool:
-      return Value::Bool(v.i64[i] != 0);
+      return Value::Bool(v.i64_data()[i] != 0);
     case DataType::kInt64:
-      return Value::Int64(v.i64[i]);
+      return Value::Int64(v.i64_data()[i]);
     case DataType::kDouble:
-      return Value::Double(v.f64[i]);
+      return Value::Double(v.f64_data()[i]);
     case DataType::kDate:
-      return Value::Date(v.i64[i]);
+      return Value::Date(v.i64_data()[i]);
     case DataType::kString:
       break;  // Strings are never vectorized.
   }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "expr/dict_view.h"
 #include "expr/expression.h"
 #include "expr/vector.h"
 
@@ -70,6 +71,20 @@ struct VecInsn {
 /// unsupported: Compile returns nullptr and the operator keeps the
 /// per-tuple interpreter — the fallback is never wrong, only slower.
 ///
+/// Exception: when Compile is given a DictView (dictionary-encoded columnar
+/// storage, DESIGN.md §12), string comparisons and LIKE against non-NULL
+/// string literals are rewritten into integer comparisons on dictionary
+/// codes. The dictionary is sorted with the same byte ordering
+/// Value::Compare uses, so `s < 'x'` becomes `code < rank('x')`,
+/// `s = 'x'` becomes `code = code_of('x')` (-1 when absent: matches
+/// nothing, is NULL for NULL lanes — exactly the interpreter result), and
+/// `s LIKE 'p%'` becomes `lo <= code AND code < hi` over the prefix's code
+/// range, whose Kleene AND propagates NULL lanes identically to the
+/// interpreter's NULL LIKE result. Inputs rewritten this way are flagged by
+/// input_is_dict_code(); the caller (ColumnScan) must feed widened code
+/// lanes for them instead of row-decoding — RowBatchDecoder cannot produce
+/// them.
+///
 /// Results are bit-for-bit identical to Expression::Evaluate, including
 /// null masks, div-by-zero -> NULL, Kleene AND/OR, and double comparison
 /// semantics (tests/vector_eval_equivalence_test.cc proves this
@@ -82,10 +97,24 @@ class CompiledExpr {
   static std::unique_ptr<CompiledExpr> Compile(const Expression& expr,
                                                const Schema& schema);
 
+  /// Dictionary-aware form: additionally rewrites string predicates into
+  /// comparisons on dictionary codes (see class comment). Only callers that
+  /// can supply code lanes for the flagged inputs may use this overload.
+  static std::unique_ptr<CompiledExpr> Compile(const Expression& expr,
+                                               const Schema& schema,
+                                               const DictView* dict);
+
   /// Distinct input columns the program reads; the caller decodes exactly
   /// these into the VectorBatch (deduplicated across programs by the
   /// RowBatchDecoder's caller).
   const std::vector<int>& input_columns() const { return input_cols_; }
+
+  /// True when input_columns()[i] is consumed as dictionary codes (kInt64
+  /// lanes holding the column's sorted-dictionary index) rather than as the
+  /// column's decoded values.
+  bool input_is_dict_code(size_t i) const {
+    return i < input_is_code_.size() && input_is_code_[i] != 0;
+  }
 
   DataType result_type() const { return result_type_; }
   size_t num_insns() const { return insns_.size(); }
@@ -117,14 +146,20 @@ class CompiledExpr {
   };
 
   bool CompileNode(const Expression& expr, Operand* out);
+  bool TryCompileDictBinary(const BinaryExpr& b, bool* handled, Operand* out);
   Operand EnsureF64(Operand o);
   uint16_t NewReg(DataType type);
   uint16_t AddInputColumn(int col, DataType type);
+  uint16_t AddDictCodeInput(int col);
+  uint16_t EmitConstI64(int64_t v);
+  uint16_t EmitBoolBinary(VecOp op, uint16_t a, uint16_t b);
   const ColumnVector& Vec(uint16_t ref, const VectorBatch& batch) const;
 
+  const DictView* dict_ = nullptr;  // Compile-time only; not owned.
   std::vector<VecInsn> insns_;
   std::vector<int> input_cols_;
   std::vector<DataType> input_types_;
+  std::vector<uint8_t> input_is_code_;
   std::vector<ColumnVector> regs_;
   std::vector<DataType> reg_types_;
   uint16_t result_ref_ = 0;

@@ -4,6 +4,7 @@
 
 #include "core/buffered_index_join.h"
 #include "exec/aggregation.h"
+#include "exec/column_scan.h"
 #include "exec/distinct.h"
 #include "exec/filter.h"
 #include "exec/hash_aggregation.h"
@@ -40,11 +41,20 @@ void SetVectorizedEval(Operator* op, bool v) {
   }
 }
 
-OperatorPtr MakeScan(Table* table, const ExprPtr& filter) {
+OperatorPtr MakeScan(Table* table, const ExprPtr& filter,
+                     const PlannerOptions& options) {
   ExprPtr predicate = filter != nullptr ? filter->Clone() : nullptr;
   double selectivity =
       filter != nullptr ? EstimateSelectivity(*filter, table) : 1.0;
-  auto scan = std::make_unique<SeqScanOperator>(table, std::move(predicate));
+  OperatorPtr scan;
+  // The columnar fast path is batch-native: substitute it only for batched
+  // plans over tables that carry a columnar image.
+  if (options.columnar_scan && options.batch_size > 1 &&
+      table->columnar() != nullptr) {
+    scan = std::make_unique<ColumnScanOperator>(table, std::move(predicate));
+  } else {
+    scan = std::make_unique<SeqScanOperator>(table, std::move(predicate));
+  }
   scan->set_estimated_rows(selectivity *
                            static_cast<double>(table->num_rows()));
   return scan;
@@ -140,7 +150,7 @@ Result<OperatorPtr> PhysicalPlanner::PlanJoinStep(const LogicalQuery& query,
       break;
     }
     case JoinStrategy::kHashJoin: {
-      OperatorPtr build = MakeScan(inner_table, inner_filter);
+      OperatorPtr build = MakeScan(inner_table, inner_filter, options_);
       auto hash_join = std::make_unique<HashJoinOperator>(
           std::move(plan), std::move(build),
           ColRef(outer_schema, outer_key_col),
@@ -167,7 +177,7 @@ Result<OperatorPtr> PhysicalPlanner::PlanJoinStep(const LogicalQuery& query,
         index_scan->set_estimated_rows(inner_filtered_rows);
         right = std::move(index_scan);
       } else {
-        OperatorPtr scan = MakeScan(inner_table, inner_filter);
+        OperatorPtr scan = MakeScan(inner_table, inner_filter, options_);
         std::vector<SortKey> right_keys;
         right_keys.push_back(
             SortKey{ColRef(inner_schema, inner_key_col), false});
@@ -197,7 +207,7 @@ Result<OperatorPtr> PhysicalPlanner::PlanJoins(const LogicalQuery& query) {
     offset += table->schema().num_columns();
   }
 
-  OperatorPtr plan = MakeScan(query.tables[0], query.filters[0]);
+  OperatorPtr plan = MakeScan(query.tables[0], query.filters[0], options_);
   std::vector<bool> joined(query.tables.size(), false);
   joined[0] = true;
   std::vector<bool> edge_used(query.joins.size(), false);
@@ -273,7 +283,7 @@ Result<OperatorPtr> PhysicalPlanner::BuildInput(const LogicalQuery& query) {
     if (!query.cross_predicates.empty()) {
       return Status::Internal("cross predicate on single-table query");
     }
-    return MakeScan(query.tables[0], query.filters[0]);
+    return MakeScan(query.tables[0], query.filters[0], options_);
   }
   return PlanJoins(query);
 }
@@ -332,12 +342,14 @@ Result<PhysicalPlanner::ParallelInput> PhysicalPlanner::BuildParallelInput(
   for (OperatorPtr& frag : fragments) {
     Operator* op = frag.get();
     while (op->num_children() > 0) op = op->child(0);
-    auto* scan = dynamic_cast<SeqScanOperator*>(op);
-    if (scan == nullptr) {
+    if (auto* scan = dynamic_cast<SeqScanOperator*>(op)) {
+      scan->BindMorselCursor(cursor.get());
+    } else if (auto* cscan = dynamic_cast<ColumnScanOperator*>(op)) {
+      cscan->BindMorselCursor(cursor.get());
+    } else {
       return Status::Internal(
-          "parallel plan: driving operator is not a sequential scan");
+          "parallel plan: driving operator is not a table scan");
     }
-    scan->BindMorselCursor(cursor.get());
   }
 
   auto exchange = std::make_unique<parallel::ExchangeOperator>(

@@ -59,6 +59,13 @@ struct PlannerOptions {
   /// per-tuple interpreter automatically. Off forces the interpreter
   /// everywhere (A/B measurement hook).
   bool vectorize_expressions = true;
+  /// Use ColumnScan (zero-decode columnar scans with zone-map pruning and
+  /// dictionary-coded string predicates, exec/column_scan.h) in place of
+  /// SeqScan wherever the table carries a columnar image
+  /// (Table::columnar()) and the plan is batched (batch_size > 1).
+  /// Tuple-at-a-time plans always use SeqScan — the columnar fast path is
+  /// batch-native. Off forces SeqScan everywhere (A/B measurement hook).
+  bool columnar_scan = true;
   /// Worker pool for Exchange operators; null = the process-global pool.
   parallel::ThreadPool* thread_pool = nullptr;
 };

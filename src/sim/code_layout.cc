@@ -64,6 +64,10 @@ constexpr SizeSpec kSizes[] = {
     // smaller than the tree-walking interpreter (expr_arith + expr_cmp =
     // 4.0K) because there is no Value boxing, type dispatch, or recursion.
     {FuncId::kVectorEvalCore, "vector_eval_core", 1200},
+    // Columnar scan body: morsel/limit bookkeeping, zone-map checks, alias
+    // publication and dictionary-code widening. No per-row slot decode or
+    // null-bitmap extraction loops, so it stays well under scan_core.
+    {FuncId::kColumnScanCore, "column_scan_core", 1800},
 };
 static_assert(sizeof(kSizes) / sizeof(kSizes[0]) == kNumFuncIds);
 
@@ -107,6 +111,8 @@ constexpr FuncId kDistinctFuncs[] = {FuncId::kExecCommon,
                                      FuncId::kDistinctCore};
 constexpr FuncId kTopNFuncs[] = {FuncId::kExecCommon, FuncId::kTopNCore,
                                  FuncId::kExprCmp};
+constexpr FuncId kColumnScanFuncs[] = {FuncId::kExecCommon,
+                                       FuncId::kColumnScanCore};
 constexpr FuncId kStaticOnlyFuncs[] = {FuncId::kColdErrorPaths,
                                        FuncId::kColdRecovery,
                                        FuncId::kColdTypeCoercion};
@@ -175,6 +181,8 @@ std::span<const FuncId> ModuleBaseFuncs(ModuleId module) {
       return kDistinctFuncs;
     case ModuleId::kTopN:
       return kTopNFuncs;
+    case ModuleId::kColumnScan:
+      return kColumnScanFuncs;
     case ModuleId::kNumModules:
       break;
   }
@@ -219,6 +227,8 @@ const char* ModuleName(ModuleId module) {
       return "Distinct";
     case ModuleId::kTopN:
       return "TopN";
+    case ModuleId::kColumnScan:
+      return "ColumnScan";
     case ModuleId::kNumModules:
       break;
   }

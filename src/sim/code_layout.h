@@ -54,6 +54,9 @@ enum class FuncId : uint8_t {
   kVectorEvalCore,   // Compiled column-at-a-time expression kernels: flat
                      // dispatch loop + tight per-opcode loops, much smaller
                      // per-tuple working set than kExprArith + kExprCmp.
+  kColumnScanCore,   // Columnar scan: segment aliasing, zone-map block
+                     // pruning, dictionary-code widening. No per-row decode
+                     // loops, so smaller than kScanCore + decoder.
   kNumFuncs,
 };
 
@@ -126,6 +129,7 @@ enum class ModuleId : uint8_t {
   kStreamAggregation,
   kDistinct,
   kTopN,
+  kColumnScan,        // Columnar scan over segment storage (DESIGN.md §12).
   kNumModules,
 };
 

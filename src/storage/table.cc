@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <cassert>
 
+#include "storage/column_table.h"
+
 namespace bufferdb {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Table::~Table() = default;
+
+void Table::AttachColumnar(std::unique_ptr<ColumnarTable> columnar) {
+  assert(!columnar || columnar->num_rows() == rows_.size());
+  columnar_ = std::move(columnar);
+}
 
 const uint8_t* Table::AppendRow(const std::vector<Value>& values) {
   assert(values.size() == schema_.num_columns());

@@ -11,6 +11,8 @@
 
 namespace bufferdb {
 
+class ColumnarTable;
+
 /// Per-column min/max/count statistics used by the planner's cardinality
 /// estimation (numeric columns only).
 struct ColumnStats {
@@ -25,8 +27,10 @@ struct ColumnStats {
 /// all on a memory-resident database).
 class Table {
  public:
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  // Both out of line: ColumnarTable is incomplete here, and inline
+  // definitions would instantiate its unique_ptr destructor.
+  Table(std::string name, Schema schema);
+  ~Table();
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -53,6 +57,12 @@ class Table {
   /// Computes (and caches) column statistics.
   const ColumnStats& stats(size_t col);
 
+  /// Attaches a columnar image of this table (storage/column_table.h),
+  /// row-aligned with rows(). Loaders call this once after the last append;
+  /// the planner substitutes ColumnScan for SeqScan when an image exists.
+  void AttachColumnar(std::unique_ptr<ColumnarTable> columnar);
+  const ColumnarTable* columnar() const { return columnar_.get(); }
+
  private:
   std::string name_;
   Schema schema_;
@@ -60,6 +70,7 @@ class Table {
   std::vector<const uint8_t*> rows_;
   std::vector<ColumnStats> stats_;
   bool stats_computed_ = false;
+  std::unique_ptr<ColumnarTable> columnar_;
 };
 
 }  // namespace bufferdb

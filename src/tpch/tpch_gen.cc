@@ -6,6 +6,7 @@
 
 #include "common/date.h"
 #include "common/rng.h"
+#include "storage/column_table.h"
 #include "tpch/tpch_schema.h"
 
 namespace bufferdb::tpch {
@@ -252,6 +253,19 @@ Status LoadTpch(const TpchConfig& config, Catalog* catalog) {
         catalog->CreateIndex("supplier_pk", "supplier", "s_suppkey", true));
     BUFFERDB_RETURN_IF_ERROR(catalog->CreateIndex(
         "lineitem_orderkey", "lineitem", "l_orderkey", false));
+  }
+
+  if (config.build_columnar) {
+    static const char* kTables[] = {"nation",   "region", "supplier",
+                                    "customer", "part",   "partsupp",
+                                    "orders",   "lineitem"};
+    for (const char* name : kTables) {
+      Table* table = catalog->GetTable(name);
+      if (table == nullptr) {
+        return Status::Internal(std::string("missing table: ") + name);
+      }
+      table->AttachColumnar(ColumnarTable::Build(*table));
+    }
   }
   return Status::OK();
 }

@@ -1,0 +1,407 @@
+// Columnar-scan equivalence suite (DESIGN.md §12): the planner's
+// columnar_scan knob must be invisible in results. Covers
+//   1. the batch-equivalence plan corpus (Exchange degrees 1/2/8, widths
+//      1/7/256/1024) with columnar_scan on vs off,
+//   2. zone-map pruning correctness on block-boundary-straddling predicates
+//      and all-NULL blocks (pruning must change counters, never results),
+//   3. dictionary round-trip and differential fuzz of the dictionary-code
+//      string predicate compiler (Eq, LIKE-prefix) against the per-tuple
+//      interpreter.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/column_scan.h"
+#include "exec/seq_scan.h"
+#include "plan/physical_planner.h"
+#include "sql/binder.h"
+#include "storage/column_table.h"
+#include "test_util.h"
+#include "tpch/tpch_gen.h"
+
+namespace bufferdb {
+namespace {
+
+using testutil::Bin;
+using testutil::Canonical;
+using testutil::Col;
+using testutil::ContractChecked;
+using testutil::Lit;
+using testutil::RunPlan;
+
+std::vector<std::vector<Value>> RunPlanBatched(Operator* root, size_t batch) {
+  ExecContext ctx;
+  auto rows = ExecutePlanBatched(root, &ctx, batch);
+  EXPECT_TRUE(rows.ok()) << rows.status();
+  if (!rows.ok()) return {};
+  std::vector<std::vector<Value>> out;
+  const Schema& schema = root->output_schema();
+  for (const uint8_t* row : *rows) {
+    TupleView view(row, &schema);
+    std::vector<Value> values;
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      values.push_back(view.GetValue(c));
+    }
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+// (k INT64, v DOUBLE, s STRING) table with periodic NULLs in every column
+// and a columnar image attached. k is ascending (tight zone maps), strings
+// come from a vocabulary with shared prefixes so LIKE-prefix ranges span
+// several dictionary entries.
+std::unique_ptr<Table> MakeColumnarTable(size_t n) {
+  Schema schema({{"k", DataType::kInt64},
+                 {"v", DataType::kDouble},
+                 {"s", DataType::kString}});
+  auto table = std::make_unique<Table>("ct", schema);
+  const char* kVocab[] = {"alpha", "alpine", "beta",  "betamax", "gamma",
+                          "gap",   "delta",  "delia", "omega",   "omen"};
+  for (size_t i = 0; i < n; ++i) {
+    Value k = (i % 11 == 3) ? Value::Null(DataType::kInt64)
+                            : Value::Int64(static_cast<int64_t>(i));
+    Value v = (i % 13 == 5)
+                  ? Value::Null(DataType::kDouble)
+                  : Value::Double(static_cast<double>(i % 1000) / 4.0);
+    Value s = (i % 17 == 7) ? Value::Null(DataType::kString)
+                            : Value::String(kVocab[(i * 7) % 10]);
+    table->AppendRow({k, v, s});
+  }
+  table->AttachColumnar(ColumnarTable::Build(*table));
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Planner corpus: columnar_scan on vs off must be result-identical.
+// ---------------------------------------------------------------------------
+
+class ColumnarPlanEquivalenceTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  OperatorPtr MustPlan(const std::string& sql, PlannerOptions options) {
+    sql::Binder binder(catalog_);
+    auto q = binder.BindSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    PhysicalPlanner planner(catalog_, options);
+    auto plan = planner.CreatePlan(*q);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return std::move(*plan);
+  }
+
+  // Runs `sql` with columnar_scan off (reference) and on, across Exchange
+  // degrees 1/2/8 at the parameterized batch width; results must match
+  // order-insensitively (worker interleaving is nondeterministic).
+  void CheckKnobInvisible(const std::string& sql) {
+    for (size_t degree : {1u, 2u, 8u}) {
+      PlannerOptions off;
+      off.parallel_degree = degree;
+      off.batch_size = GetParam();
+      off.columnar_scan = false;
+      OperatorPtr reference = MustPlan(sql, off);
+      auto expected = Canonical(RunPlanBatched(reference.get(), GetParam()));
+
+      PlannerOptions on = off;
+      on.columnar_scan = true;
+      OperatorPtr plan = MustPlan(sql, on);
+      auto actual = Canonical(RunPlanBatched(plan.get(), GetParam()));
+      EXPECT_EQ(expected, actual) << "degree " << degree << " sql: " << sql;
+    }
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* ColumnarPlanEquivalenceTest::catalog_ = nullptr;
+
+TEST_P(ColumnarPlanEquivalenceTest, NumericFilterProjection) {
+  CheckKnobInvisible(
+      "SELECT l_orderkey, l_quantity FROM lineitem "
+      "WHERE l_shipdate <= DATE '1998-09-02'");
+}
+
+TEST_P(ColumnarPlanEquivalenceTest, JoinAggregate) {
+  CheckKnobInvisible(
+      "SELECT SUM(o_totalprice), COUNT(*) FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02'");
+}
+
+TEST_P(ColumnarPlanEquivalenceTest, StringEquality) {
+  CheckKnobInvisible(
+      "SELECT o_orderkey, o_totalprice FROM orders "
+      "WHERE o_orderpriority = '1-URGENT'");
+}
+
+TEST_P(ColumnarPlanEquivalenceTest, LikePrefix) {
+  CheckKnobInvisible(
+      "SELECT o_orderkey FROM orders WHERE o_orderpriority LIKE '1-%'");
+}
+
+TEST_P(ColumnarPlanEquivalenceTest, ConjunctionWithStringAndRange) {
+  CheckKnobInvisible(
+      "SELECT o_orderkey FROM orders "
+      "WHERE o_orderpriority = '5-LOW' AND o_totalprice < 150000.0");
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ColumnarPlanEquivalenceTest,
+                         ::testing::Values(1, 7, 256, 1024));
+
+// ---------------------------------------------------------------------------
+// 2. Zone-map pruning: counters move, results don't.
+// ---------------------------------------------------------------------------
+
+struct PruneCase {
+  const char* name;
+  ExprPtr (*make)(const Schema&);
+  uint64_t min_blocks_pruned;  // Lower bound on blocks pruned (3-block table).
+};
+
+class ZoneMapPruningTest : public ::testing::Test {
+ protected:
+  // Drains a ColumnScan and a SeqScan over the same table with clones of
+  // `predicate` and compares; returns the ColumnScan's pruning counter.
+  uint64_t CheckAndCountPruned(Table* table, const ExprPtr& predicate) {
+    auto reference = std::make_unique<SeqScanOperator>(
+        table, predicate ? predicate->Clone() : nullptr);
+    auto expected = RunPlan(reference.get());
+
+    auto cscan = std::make_unique<ColumnScanOperator>(
+        table, predicate ? predicate->Clone() : nullptr);
+    ColumnScanOperator* hook = cscan.get();
+    auto actual = RunPlanBatched(cscan.get(), 1024);
+    uint64_t pruned = hook->blocks_pruned();
+
+    EXPECT_EQ(Canonical(expected), Canonical(actual));
+    EXPECT_EQ(expected.size(), actual.size());
+    return pruned;
+  }
+};
+
+TEST_F(ZoneMapPruningTest, BlockBoundaryPredicates) {
+  // 3 full blocks; k ascending, so block b covers k in roughly
+  // [4096*b, 4096*(b+1)) with NULL holes.
+  auto table = MakeColumnarTable(3 * kZoneBlockRows);
+  const Schema& s = table->schema();
+  const int64_t b = static_cast<int64_t>(kZoneBlockRows);
+
+  struct Case {
+    ExprPtr pred;
+    uint64_t min_pruned;
+  };
+  std::vector<Case> cases;
+  // Exactly the first block survives k < 4096: blocks 1 and 2 pruned.
+  cases.push_back({Bin(BinaryOp::kLt, Col(s, "k"), Lit(Value::Int64(b))), 2});
+  // k <= 4096 straddles the block 0/1 boundary by one row: only block 2
+  // prunable.
+  cases.push_back({Bin(BinaryOp::kLe, Col(s, "k"), Lit(Value::Int64(b))), 1});
+  // Equality on the first row of block 1: blocks 0 and 2 pruned.
+  cases.push_back({Bin(BinaryOp::kEq, Col(s, "k"), Lit(Value::Int64(b))), 2});
+  // Range straddling the boundary: block 2 pruned.
+  cases.push_back(
+      {Bin(BinaryOp::kAnd,
+           Bin(BinaryOp::kGe, Col(s, "k"), Lit(Value::Int64(b - 100))),
+           Bin(BinaryOp::kLt, Col(s, "k"), Lit(Value::Int64(b + 100)))),
+       1});
+  // Last block only.
+  cases.push_back(
+      {Bin(BinaryOp::kGe, Col(s, "k"), Lit(Value::Int64(2 * b))), 2});
+  // Nothing matches: everything pruned.
+  cases.push_back(
+      {Bin(BinaryOp::kLt, Col(s, "k"), Lit(Value::Int64(-5))), 3});
+  // Everything matches: nothing prunable.
+  cases.push_back(
+      {Bin(BinaryOp::kGe, Col(s, "k"), Lit(Value::Int64(-5))), 0});
+
+  for (size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE("case " + std::to_string(i));
+    uint64_t pruned = CheckAndCountPruned(table.get(), cases[i].pred);
+    EXPECT_GE(pruned, cases[i].min_pruned);
+  }
+}
+
+TEST_F(ZoneMapPruningTest, AllNullBlocks) {
+  // Middle block's v is entirely NULL: any comparison on v prunes it.
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}});
+  auto table = std::make_unique<Table>("nulls", schema);
+  const size_t n = 3 * kZoneBlockRows;
+  for (size_t i = 0; i < n; ++i) {
+    bool middle = i >= kZoneBlockRows && i < 2 * kZoneBlockRows;
+    table->AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                      middle ? Value::Null(DataType::kDouble)
+                             : Value::Double(static_cast<double>(i % 90))});
+  }
+  table->AttachColumnar(ColumnarTable::Build(*table));
+  const Schema& s = table->schema();
+
+  uint64_t pruned = CheckAndCountPruned(
+      table.get(), Bin(BinaryOp::kLt, Col(s, "v"), Lit(Value::Double(50.0))));
+  EXPECT_GE(pruned, 1u);
+  pruned = CheckAndCountPruned(
+      table.get(), Bin(BinaryOp::kEq, Col(s, "v"), Lit(Value::Double(7.0))));
+  EXPECT_GE(pruned, 1u);
+}
+
+TEST_F(ZoneMapPruningTest, StringZoneMapsInCodeSpace) {
+  // String zone maps prune in dictionary-code space: a table whose string
+  // column is block-sorted prunes equality probes to one block.
+  Schema schema({{"s", DataType::kString}});
+  auto table = std::make_unique<Table>("strs", schema);
+  const char* kByBlock[] = {"aardvark", "marmot", "zebra"};
+  for (size_t blk = 0; blk < 3; ++blk) {
+    for (size_t i = 0; i < kZoneBlockRows; ++i) {
+      table->AppendRow({Value::String(kByBlock[blk])});
+    }
+  }
+  table->AttachColumnar(ColumnarTable::Build(*table));
+  const Schema& s = table->schema();
+
+  uint64_t pruned = CheckAndCountPruned(
+      table.get(),
+      Bin(BinaryOp::kEq, Col(s, "s"), Lit(Value::String("marmot"))));
+  EXPECT_GE(pruned, 2u);
+  // Absent literal: always_false conjunct prunes every block.
+  pruned = CheckAndCountPruned(
+      table.get(),
+      Bin(BinaryOp::kEq, Col(s, "s"), Lit(Value::String("wombat"))));
+  EXPECT_GE(pruned, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Dictionary: round-trip and differential fuzz vs the interpreter.
+// ---------------------------------------------------------------------------
+
+TEST(DictionaryTest, RoundTrip) {
+  auto table = MakeColumnarTable(2000);
+  const ColumnarTable* ct = table->columnar();
+  ASSERT_NE(ct, nullptr);
+  const ColumnSegment& seg = ct->segment(2);
+  ASSERT_EQ(seg.type, DataType::kString);
+  ASSERT_TRUE(ct->HasDict(2));
+
+  // Sorted, unique dictionary.
+  for (size_t i = 1; i < seg.dict.size(); ++i) {
+    EXPECT_LT(seg.dict[i - 1], seg.dict[i]);
+  }
+  // Every non-NULL row decodes back to its source string; NULL rows carry
+  // the zero-payload normalization.
+  const Schema& schema = table->schema();
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    TupleView view(table->row(i), &schema);
+    if (view.IsNull(2)) {
+      EXPECT_EQ(seg.nulls[i], 1);
+      EXPECT_EQ(seg.codes[i], 0);
+    } else {
+      EXPECT_EQ(seg.nulls[i], 0);
+      EXPECT_EQ(seg.dict[static_cast<size_t>(seg.codes[i])],
+                view.GetValue(2).string_value());
+    }
+  }
+  // CodeOf agrees with the dictionary; absent strings report -1.
+  for (size_t c = 0; c < seg.dict.size(); ++c) {
+    EXPECT_EQ(ct->CodeOf(2, seg.dict[c]), static_cast<int64_t>(c));
+  }
+  EXPECT_EQ(ct->CodeOf(2, "no-such-string"), -1);
+
+  // PrefixRange matches a brute-force scan of the dictionary.
+  for (std::string prefix : {"a", "al", "b", "beta", "g", "z", ""}) {
+    int64_t lo = 0, hi = 0;
+    ASSERT_TRUE(ct->PrefixRange(2, prefix, &lo, &hi)) << prefix;
+    for (size_t c = 0; c < seg.dict.size(); ++c) {
+      bool has_prefix = seg.dict[c].compare(0, prefix.size(), prefix) == 0;
+      bool in_range = static_cast<int64_t>(c) >= lo &&
+                      static_cast<int64_t>(c) < hi;
+      EXPECT_EQ(has_prefix, in_range) << prefix << " vs " << seg.dict[c];
+    }
+  }
+}
+
+TEST(DictionaryTest, DifferentialFuzzVsInterpreter) {
+  auto table = MakeColumnarTable(5000);
+  const Schema& s = table->schema();
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  // Candidate literals: vocabulary members, non-members, and prefixes.
+  const char* kLiterals[] = {"alpha", "alp",  "beta", "betamax", "b",
+                             "gap",   "gaps", "del",  "omega",   "zzz", ""};
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string lit = kLiterals[next() % (sizeof(kLiterals) / 8)];
+    BinaryOp op;
+    ExprPtr pred;
+    switch (next() % 4) {
+      case 0:
+        op = BinaryOp::kEq;
+        pred = Bin(op, Col(s, "s"), Lit(Value::String(lit)));
+        break;
+      case 1:
+        op = BinaryOp::kNe;
+        pred = Bin(op, Col(s, "s"), Lit(Value::String(lit)));
+        break;
+      case 2:
+        pred = Bin(BinaryOp::kLike, Col(s, "s"), Lit(Value::String(lit + "%")));
+        break;
+      default:
+        pred = Bin(BinaryOp::kLt, Col(s, "s"), Lit(Value::String(lit)));
+        break;
+    }
+
+    auto reference =
+        std::make_unique<SeqScanOperator>(table.get(), pred->Clone());
+    auto expected = RunPlan(reference.get());
+
+    auto cscan =
+        std::make_unique<ColumnScanOperator>(table.get(), pred->Clone());
+    // String predicates must run on dictionary codes, not the interpreter.
+    EXPECT_NE(cscan->compiled_predicate(), nullptr) << pred->ToString();
+    auto actual = RunPlanBatched(cscan.get(), 256);
+
+    EXPECT_EQ(Canonical(expected), Canonical(actual)) << pred->ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct operator equivalence across widths, contract-checked.
+// ---------------------------------------------------------------------------
+
+class ColumnScanWidthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ColumnScanWidthTest, MatchesSeqScanAcrossWidths) {
+  auto table = MakeColumnarTable(997);  // No width divides this evenly.
+  const Schema& s = table->schema();
+  std::vector<ExprPtr> preds;
+  preds.push_back(nullptr);
+  preds.push_back(Bin(BinaryOp::kLt, Col(s, "v"), Lit(Value::Double(100.0))));
+  preds.push_back(
+      Bin(BinaryOp::kEq, Col(s, "s"), Lit(Value::String("alpha"))));
+  for (const ExprPtr& pred : preds) {
+    OperatorPtr reference = ContractChecked(std::make_unique<SeqScanOperator>(
+        table.get(), pred ? pred->Clone() : nullptr));
+    OperatorPtr cscan = ContractChecked(std::make_unique<ColumnScanOperator>(
+        table.get(), pred ? pred->Clone() : nullptr));
+    EXPECT_EQ(Canonical(RunPlan(reference.get())),
+              Canonical(RunPlanBatched(cscan.get(), GetParam())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ColumnScanWidthTest,
+                         ::testing::Values(1, 7, 256, 1024));
+
+}  // namespace
+}  // namespace bufferdb

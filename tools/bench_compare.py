@@ -48,6 +48,7 @@ IDENTITY_FIELDS = {
     "smoke", "hw", "rows", "sim_rows", "key_range", "batch_width",
     "batch_size", "buffer_size", "sim_buffer_size", "iters", "keep_fraction",
     "buffers_added", "groups_out", "selected", "outputs_identical", "avx2",
+    "decode_rows_out", "string_rows_out",
 }
 
 # (regex on the dotted metric path, direction, kind)
@@ -59,7 +60,7 @@ POLICIES = [
                 r"l1d_misses|l2_misses|l2_i_misses|itlb_misses|mispredicts|"
                 r"l1i_accesses|l1d_accesses|l2_accesses|itlb_accesses|"
                 r"branches)$"), "lower", "rel"),
-    (re.compile(r"^sim_(orig|buf|tuple|batch)_(l1i|itlb|mispredicts|"
+    (re.compile(r"^sim_(orig|buf|tuple|batch|row|col)_(l1i|itlb|mispredicts|"
                 r"instructions|l1i_misses|l1i_accesses)"), "lower", "rel"),
     (re.compile(r"reduction_pct$|improvement_pct$"), "higher", "abs_pct"),
     # Speedups are ratios of same-machine times: cross-runner comparable,

@@ -41,6 +41,16 @@ see (see DESIGN.md section 9):
                             no-PMU path, the fd lifetime and the paranoid-
                             level diagnostics stay in one place. Annotate
                             with `// LINT: allow-syscall(<reason>)`.
+  ENG008 row-decode         No RowBatchDecoder::Decode calls inside
+                            NextBatch() bodies: batch-native operators must
+                            decode through RowBatchDecoder::DecodeMissing so
+                            columns a ColumnScan (or any publishing child)
+                            already exposes via BatchColumns() are aliased
+                            instead of re-decoded. The deliberate cases (a
+                            leaf decoding rows it gathered itself, with no
+                            batch source to alias from) are annotated
+                            `// engine-lint: allow-row-decode(<reason>)` on
+                            the same or the preceding line.
 
 Usage:
   engine_lint.py [--root DIR] [--self-test] [paths ...]
@@ -70,6 +80,8 @@ ALLOW_THREAD = "LINT: allow-thread"
 # Accepts both `// allow-scalar-eval (fallback)` and the LINT-prefixed form.
 ALLOW_SCALAR_EVAL = "allow-scalar-eval"
 ALLOW_SYSCALL = "LINT: allow-syscall"
+# Accepts both `// engine-lint: allow-row-decode(...)` and a bare form.
+ALLOW_ROW_DECODE = "allow-row-decode"
 
 
 @dataclass(frozen=True)
@@ -419,6 +431,36 @@ def check_scalar_eval(path: str, raw: str, stripped: str) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# ENG008: no raw RowBatchDecoder::Decode in NextBatch() bodies
+# ---------------------------------------------------------------------------
+
+# `Decode(` specifically: `DecodeMissing(` continues with `M` and does not
+# match, which is the point -- DecodeMissing aliases published columns.
+ROW_DECODE_RE = re.compile(r"\bRowBatchDecoder\s*::\s*Decode\s*\(")
+
+
+def check_row_decode(path: str, raw: str, stripped: str) -> list[Finding]:
+    findings: list[Finding] = []
+    allowed = annotated_lines(raw, ALLOW_ROW_DECODE)
+    raw_lines = raw.splitlines()
+    for m in BATCH_FUNC_DEF_RE.finditer(stripped):
+        open_idx = stripped.index("{", m.start())
+        end_idx = match_brace_block(stripped, open_idx)
+        body = stripped[open_idx:end_idx]
+        for hit in ROW_DECODE_RE.finditer(body):
+            line = line_of(stripped, open_idx + hit.start())
+            if is_annotated(raw_lines, allowed, line):
+                continue
+            findings.append(Finding(
+                path, line, "ENG008",
+                "RowBatchDecoder::Decode inside NextBatch(); use "
+                "DecodeMissing with the child's BatchColumns() so published "
+                "columns are aliased instead of re-decoded, or annotate "
+                "`// engine-lint: allow-row-decode(<reason>)`"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # ENG007: perf_event_open / raw syscall() only under src/perf/
 # ---------------------------------------------------------------------------
 
@@ -456,6 +498,7 @@ ALL_CHECKS = [
     check_thread_containment,
     check_scalar_eval,
     check_syscall_containment,
+    check_row_decode,
 ]
 
 
@@ -600,6 +643,19 @@ size_t BadOp::NextBatch(const uint8_t** out, size_t max) {
 }  // namespace bufferdb
 """,
     ),
+    "src/exec/bad_row_decode.cc": (
+        "ENG008",
+        """\
+#include "exec/bad_row_decode.h"
+namespace bufferdb {
+size_t BadOp::NextBatch(const uint8_t** out, size_t max) {
+  size_t n = child(0)->NextBatch(out, max);
+  RowBatchDecoder::Decode(out, n, schema_, cols_, &vbatch_);
+  return n;
+}
+}  // namespace bufferdb
+""",
+    ),
 }
 
 SEEDED_CLEAN = {
@@ -632,6 +688,10 @@ size_t GoodOp::NextBatch(const uint8_t** out, size_t max) {
   // The annotated interpreter fallback must not trip ENG006.
   Value v = evaluator_->Evaluate(row_);  // allow-scalar-eval (fallback)
   (void)v;
+  // DecodeMissing is the sanctioned batch decode: never trips ENG008.
+  RowBatchDecoder::DecodeMissing(out, max, schema_, cols_, nullptr, &vbatch_);
+  // engine-lint: allow-row-decode(leaf: gathered rows, no batch source)
+  RowBatchDecoder::Decode(out, max, schema_, cols_, &vbatch_);
   return max != 0 ? 0 : 0;
 }
 const uint8_t* GoodOp::NextHelper() {
