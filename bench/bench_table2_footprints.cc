@@ -1,10 +1,18 @@
 // Table 2: per-module instruction footprints measured via dynamic call
 // graphs over the calibration query set (§7.1), plus the per-aggregate
 // function sizes read from the (synthetic) binary.
+//
+// Emits one JSON line per operator module (simulated shared-once bytes plus
+// the naive static estimate) so tools/validate_sim.py can cross-check the
+// simulated footprints against tools/footprint_audit.py's measurement of
+// the real binary. With --calibration=FILE the emitted bytes reflect the
+// loaded layout, closing the audit -> simulator loop.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
+#include "core/execution_group.h"
 #include "profile/calibration_queries.h"
 #include "sim/code_layout.h"
 
@@ -16,6 +24,33 @@ int main(int argc, char** argv) {
   bufferdb::bench::PrintJsonHeader(
       "table2_footprints", bufferdb::bench::ScaleFactorFromArgs(argc, argv));
   auto table = bufferdb::profile::CalibrateFootprints();
+  for (int m = 0; m < bufferdb::sim::kNumModuleIds; ++m) {
+    auto module = static_cast<ModuleId>(m);
+    // Modules the calibration query set does not reach fall back to their
+    // base function sets, so every module emits a record.
+    uint64_t bytes;
+    const char* source;
+    if (table.has(module)) {
+      bytes = table.footprint_bytes(module);
+      source = "dynamic";
+    } else {
+      bufferdb::FuncSet base;
+      base.AddAll(bufferdb::sim::ModuleBaseFuncs(module));
+      bytes = base.TotalBytes();
+      source = "base";
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bench\": \"table2_footprints\", \"module\": \"%s\", "
+                  "\"bytes\": %llu, \"static_bytes\": %llu, "
+                  "\"source\": \"%s\"}",
+                  bufferdb::sim::ModuleName(module),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(
+                      table.StaticEstimateBytes(module)),
+                  source);
+    bufferdb::bench::EmitJsonLine(buf);
+  }
   std::fprintf(stderr, "Table 2: Postgres-style instruction footprints (measured)\n");
   std::fprintf(stderr, "%s\n", table.ToString().c_str());
 

@@ -36,6 +36,7 @@ bool g_hw_mode = false;
 bool g_json_strict = false;
 size_t g_batch_size = 1;
 size_t g_buffer_size = BufferOperator::kDefaultBufferSize;
+std::string g_calibration_path;
 std::string g_bench_name = "bench";
 // Under --json-strict, the real stdout lives here and fd 1 points at a
 // capture file that must stay empty (see SetupJsonStrict).
@@ -108,6 +109,8 @@ size_t BatchSizeArg() { return g_batch_size; }
 
 size_t BufferSizeArg() { return g_buffer_size; }
 
+const std::string& CalibrationArg() { return g_calibration_path; }
+
 void Note(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);
@@ -148,6 +151,19 @@ double ScaleFactorFromArgs(int argc, char** argv) {
                             : BufferOperator::kDefaultBufferSize;
       continue;
     }
+    if (arg.rfind("--calibration=", 0) == 0) {
+      g_calibration_path = arg.substr(std::strlen("--calibration="));
+      std::string error;
+      if (!sim::CodeLayout::LoadCalibration(g_calibration_path, &error)) {
+        std::fprintf(stderr, "--calibration failed: %s\n", error.c_str());
+        std::exit(2);
+      }
+      Note("# code layout calibrated from %s (total %llu bytes)\n",
+           g_calibration_path.c_str(),
+           static_cast<unsigned long long>(
+               sim::CodeLayout::Default().total_code_bytes()));
+      continue;
+    }
     double v = std::atof(arg.c_str());
     if (v > 0) sf = v;
   }
@@ -157,13 +173,15 @@ double ScaleFactorFromArgs(int argc, char** argv) {
 
 void PrintJsonHeader(const char* bench_name, double scale_factor) {
   g_bench_name = bench_name;
-  char buf[320];
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "{\"bench\": \"%s\", \"scale_factor\": %.6g, \"smoke\": %s, "
-      "\"hw\": %s, \"batch_size\": %zu, \"buffer_size\": %zu}",
+      "\"hw\": %s, \"batch_size\": %zu, \"buffer_size\": %zu, "
+      "\"calibrated\": %s}",
       bench_name, scale_factor, g_smoke_mode ? "true" : "false",
-      g_hw_mode ? "true" : "false", g_batch_size, g_buffer_size);
+      g_hw_mode ? "true" : "false", g_batch_size, g_buffer_size,
+      g_calibration_path.empty() ? "false" : "true");
   EmitJsonLine(buf);
 }
 

@@ -34,6 +34,14 @@ Catalog& SharedTpch(double scale_factor);
 ///                  tells benches (via SmokeMode) to cut iteration counts.
 ///   --batch=N      NextBatch width for batch-aware consumers (default 1).
 ///   --buffer=N     Buffer operator capacity in tuples.
+///   --calibration=PATH
+///                  Loads a measured code-layout calibration (the file
+///                  `tools/footprint_audit.py --emit-calibration` writes)
+///                  via sim::CodeLayout::LoadCalibration before anything
+///                  executes, so the simulator runs with the *audited*
+///                  per-module instruction footprints of the real binary
+///                  instead of the hand-calibrated Table-2 layout. Exits 2
+///                  with the parse error on a bad file.
 ///   --hw           Collect real hardware counters (perf_event_open) per
 ///                  operator: RunQuery re-executes each plan wrapped in the
 ///                  perf profiler with the CPU simulator detached, so the
@@ -58,6 +66,9 @@ size_t BatchSizeArg();
 
 /// Buffer capacity selected by `--buffer=N` (kDefaultBufferSize when absent).
 size_t BufferSizeArg();
+
+/// Calibration file selected by `--calibration=PATH` (empty when absent).
+const std::string& CalibrationArg();
 
 /// True once ScaleFactorFromArgs has seen `--hw`.
 bool HwMode();

@@ -71,7 +71,7 @@ size_t SeqScanOperator::NextBatch(const uint8_t** out, size_t max) {
         ctx_->Touch(row, TupleView(row, &schema).size_bytes());
         out[n + gathered++] = row;
       }
-      // engine-lint: allow-row-decode(leaf: gathered rows, no batch source)
+      // LINT: allow-row-decode(leaf: gathered rows, no batch source)
       RowBatchDecoder::Decode(out + n, gathered, schema,
                               compiled_->input_columns(), &vbatch_);
       compiled_->RunFilter(vbatch_, &sel_);

@@ -1,6 +1,13 @@
 #include "sim/code_layout.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
 
 namespace bufferdb::sim {
 
@@ -120,27 +127,159 @@ constexpr FuncId kStaticOnlyFuncs[] = {FuncId::kColdErrorPaths,
 }  // namespace
 
 CodeLayout::CodeLayout() {
+  uint32_t sizes[kNumFuncIds];
+  for (int i = 0; i < kNumFuncIds; ++i) {
+    assert(static_cast<int>(kSizes[i].id) == i);
+    sizes[i] = kSizes[i].size_bytes;
+  }
+  Build(sizes);
+}
+
+void CodeLayout::Build(const uint32_t* size_bytes) {
   uint64_t next_line = 0;  // Global line counter across all functions.
+  total_code_bytes_ = 0;
   for (int i = 0; i < kNumFuncIds; ++i) {
     const SizeSpec& spec = kSizes[i];
-    assert(static_cast<int>(spec.id) == i);
-    uint32_t lines = (spec.size_bytes + 63) / 64;
+    uint32_t bytes = size_bytes[i];
+    uint32_t lines = (bytes + 63) / 64;
     funcs_[i] = FuncInfo{
         spec.id,
         spec.name,
         kCodeBase + next_line * kLineStrideBytes,
-        spec.size_bytes,
+        bytes,
         lines,
-        spec.size_bytes / kBytesPerBranchSite,
+        std::max(bytes / kBytesPerBranchSite, 1u),
     };
     next_line += lines;
-    total_code_bytes_ += spec.size_bytes;
+    total_code_bytes_ += bytes;
   }
 }
 
+namespace {
+
+// Slot holding the calibrated layout, when one has been installed. Reads go
+// through Default(); writes only happen in LoadCalibrationText /
+// ResetCalibration, which the contract restricts to startup.
+const CodeLayout*& CalibratedLayoutSlot() {
+  static const CodeLayout* slot = nullptr;
+  return slot;
+}
+
+// A function's size never calibrates below one cache line: the audit
+// measures whole symbols and the simulator fetches whole lines.
+constexpr uint32_t kMinCalibratedBytes = 64;
+constexpr uint32_t kMaxCalibratedBytes = 16u << 20;
+
+}  // namespace
+
 const CodeLayout& CodeLayout::Default() {
   static const CodeLayout* layout = new CodeLayout();
-  return *layout;
+  const CodeLayout* calibrated = CalibratedLayoutSlot();
+  return calibrated != nullptr ? *calibrated : *layout;
+}
+
+bool CodeLayout::LoadCalibrationText(const std::string& text,
+                                     std::string* error) {
+  uint32_t sizes[kNumFuncIds];
+  bool pinned[kNumFuncIds] = {};
+  for (int i = 0; i < kNumFuncIds; ++i) sizes[i] = kSizes[i].size_bytes;
+
+  std::vector<std::pair<ModuleId, uint64_t>> module_targets;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "calibration line " + std::to_string(lineno) + ": " + why;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream tok(line);
+    std::string kind;
+    if (!(tok >> kind) || kind[0] == '#') continue;
+    std::string name;
+    long long bytes = 0;
+    std::string extra;
+    if (!(tok >> name >> bytes) || (tok >> extra)) {
+      return fail("malformed line (want `func|module <name> <bytes>`): " +
+                  line);
+    }
+    if (bytes <= 0) return fail("non-positive size for " + name);
+    if (kind == "func") {
+      FuncId id;
+      if (!FuncIdFromName(name, &id)) return fail("unknown function " + name);
+      sizes[static_cast<int>(id)] = static_cast<uint32_t>(
+          std::clamp<long long>(bytes, kMinCalibratedBytes,
+                                kMaxCalibratedBytes));
+      pinned[static_cast<int>(id)] = true;
+    } else if (kind == "module") {
+      ModuleId module;
+      if (!ModuleIdFromName(name, &module)) {
+        return fail("unknown module " + name);
+      }
+      module_targets.emplace_back(module, static_cast<uint64_t>(bytes));
+    } else {
+      return fail("unknown directive " + kind);
+    }
+  }
+
+  // Meet the module targets by iterative proportional fitting: each round
+  // scales every un-pinned function by the mean target/current ratio of the
+  // modules containing it, so functions shared between modules (exec_common,
+  // the expression evaluators) converge on a compromise size instead of
+  // ping-ponging between conflicting targets.
+  for (int round = 0; round < 8 && !module_targets.empty(); ++round) {
+    double ratio_sum[kNumFuncIds] = {};
+    int ratio_count[kNumFuncIds] = {};
+    for (const auto& [module, target] : module_targets) {
+      uint64_t current = 0;
+      for (FuncId f : ModuleBaseFuncs(module)) {
+        current += sizes[static_cast<int>(f)];
+      }
+      if (current == 0) continue;
+      double ratio =
+          static_cast<double>(target) / static_cast<double>(current);
+      for (FuncId f : ModuleBaseFuncs(module)) {
+        int i = static_cast<int>(f);
+        if (pinned[i]) continue;
+        ratio_sum[i] += ratio;
+        ratio_count[i] += 1;
+      }
+    }
+    for (int i = 0; i < kNumFuncIds; ++i) {
+      if (ratio_count[i] == 0) continue;
+      double scaled = sizes[i] * (ratio_sum[i] / ratio_count[i]);
+      sizes[i] = static_cast<uint32_t>(
+          std::clamp<double>(std::round(scaled), kMinCalibratedBytes,
+                             kMaxCalibratedBytes));
+    }
+  }
+
+  auto* layout = new CodeLayout();
+  layout->Build(sizes);
+  const CodeLayout* old = CalibratedLayoutSlot();
+  CalibratedLayoutSlot() = layout;
+  delete old;
+  return true;
+}
+
+bool CodeLayout::LoadCalibration(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open calibration file " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return LoadCalibrationText(text.str(), error);
+}
+
+void CodeLayout::ResetCalibration() {
+  const CodeLayout* old = CalibratedLayoutSlot();
+  CalibratedLayoutSlot() = nullptr;
+  delete old;
 }
 
 std::span<const FuncId> ModuleBaseFuncs(ModuleId module) {

@@ -84,8 +84,32 @@ struct FuncInfo {
 /// with the 32 L1-I sets, so lines still map uniformly across sets.
 class CodeLayout {
  public:
-  /// The default layout calibrated against the paper's Table 2.
+  /// The current layout: hand-calibrated against the paper's Table 2 until
+  /// LoadCalibration installs measured footprints.
   static const CodeLayout& Default();
+
+  /// Loads a measured-footprint calibration (the format emitted by
+  /// `tools/footprint_audit.py --emit-calibration`) and installs it as the
+  /// layout returned by Default(). The file is line-oriented:
+  ///
+  ///   # comment
+  ///   func <func_name> <size_bytes>      pin one synthetic function's size
+  ///   module <ModuleName> <size_bytes>   target a module's shared-once total
+  ///
+  /// Names feed the ModuleIdFromName / FuncIdFromName reverse lookups below;
+  /// an unknown name, a malformed line or a non-positive size fails the load
+  /// (returns false, `*error` says why, the installed layout is unchanged).
+  /// `module` targets are met by iterative proportional scaling of the
+  /// module's un-pinned base functions, so functions shared between modules
+  /// settle on a compromise size. Not thread-safe: call before any SimCpu
+  /// executes (the benches apply `--calibration=PATH` during argv parsing).
+  static bool LoadCalibration(const std::string& path, std::string* error);
+
+  /// LoadCalibration on in-memory text (testing / embedding).
+  static bool LoadCalibrationText(const std::string& text, std::string* error);
+
+  /// Drops any installed calibration, restoring the Table-2 layout.
+  static void ResetCalibration();
 
   const FuncInfo& info(FuncId id) const {
     return funcs_[static_cast<int>(id)];
@@ -103,6 +127,9 @@ class CodeLayout {
 
  private:
   CodeLayout();
+  /// Lays out `size_bytes[kNumFuncIds]` (names and ids from the default
+  /// table) into the strided synthetic address space.
+  void Build(const uint32_t* size_bytes);
 
   FuncInfo funcs_[kNumFuncIds];
   uint64_t total_code_bytes_ = 0;

@@ -127,6 +127,106 @@ TEST(CodeLayoutTest, ModuleNamesAreStable) {
   EXPECT_STREQ(FuncName(FuncId::kExecCommon), "exec_common");
 }
 
+TEST(CodeLayoutTest, ModuleIdFromNameRoundTripsEveryModule) {
+  // footprint_audit.py keys its manifest and calibration files on these
+  // names; every id must round-trip and no two modules may share a name.
+  std::set<std::string> seen;
+  for (int m = 0; m < kNumModuleIds; ++m) {
+    auto module = static_cast<ModuleId>(m);
+    const char* name = ModuleName(module);
+    EXPECT_TRUE(seen.insert(name).second) << name;
+    ModuleId back;
+    ASSERT_TRUE(ModuleIdFromName(name, &back)) << name;
+    EXPECT_EQ(back, module) << name;
+  }
+  ModuleId out;
+  EXPECT_FALSE(ModuleIdFromName("NoSuchModule", &out));
+  EXPECT_FALSE(ModuleIdFromName("", &out));
+  EXPECT_FALSE(ModuleIdFromName("scan", &out));  // Case-sensitive.
+}
+
+TEST(CodeLayoutTest, FuncIdFromNameRoundTripsEveryFunc) {
+  std::set<std::string> seen;
+  for (int f = 0; f < kNumFuncIds; ++f) {
+    auto func = static_cast<FuncId>(f);
+    const char* name = FuncName(func);
+    EXPECT_TRUE(seen.insert(name).second) << name;
+    FuncId back;
+    ASSERT_TRUE(FuncIdFromName(name, &back)) << name;
+    EXPECT_EQ(back, func) << name;
+  }
+  FuncId out;
+  EXPECT_FALSE(FuncIdFromName("no_such_func", &out));
+  EXPECT_FALSE(FuncIdFromName("", &out));
+}
+
+// Restores the built-in layout even when an EXPECT fails mid-test, so the
+// Table-2 assertions above never observe a leftover calibration.
+class CalibrationGuard {
+ public:
+  ~CalibrationGuard() { CodeLayout::ResetCalibration(); }
+};
+
+TEST(CodeLayoutTest, LoadCalibrationPinsFunctionAndModuleSizes) {
+  CalibrationGuard guard;
+  std::string error;
+  ASSERT_TRUE(CodeLayout::LoadCalibrationText(
+      "# audited footprints\n"
+      "func scan_core 4096\n"
+      "module Buffer 20400\n",
+      &error))
+      << error;
+  const CodeLayout& layout = CodeLayout::Default();
+  // A `func` line pins that function exactly (rounded to nothing: bytes are
+  // taken verbatim), and derived line/branch-site counts follow.
+  EXPECT_EQ(layout.info(FuncId::kScanCore).size_bytes, 4096u);
+  EXPECT_EQ(layout.info(FuncId::kScanCore).lines, 64u);
+  EXPECT_GT(layout.info(FuncId::kScanCore).branch_sites, 0u);
+  // A `module` line retargets the module's shared-once byte total.
+  bufferdb::FuncSet buffer_set;
+  buffer_set.AddAll(ModuleBaseFuncs(ModuleId::kBuffer));
+  EXPECT_NEAR(static_cast<double>(buffer_set.TotalBytes()), 20400.0, 64.0);
+  // Layout invariants survive calibration.
+  uint64_t prev_end = 0;
+  for (int i = 0; i < kNumFuncIds; ++i) {
+    const FuncInfo& f = layout.info(static_cast<FuncId>(i));
+    EXPECT_GE(f.base_addr, prev_end) << f.name;
+    EXPECT_EQ(f.base_addr % 64, 0u) << f.name;
+    prev_end = CodeLayout::LineAddress(f, f.lines - 1) + 64;
+  }
+
+  CodeLayout::ResetCalibration();
+  EXPECT_EQ(CodeLayout::Default().info(FuncId::kScanCore).size_bytes, 3500u);
+}
+
+TEST(CodeLayoutTest, LoadCalibrationRejectsBadInput) {
+  CalibrationGuard guard;
+  std::string error;
+  // Unknown module name (the drift the audit's gate also catches).
+  EXPECT_FALSE(CodeLayout::LoadCalibrationText("module Nope 1000\n", &error));
+  EXPECT_NE(error.find("Nope"), std::string::npos) << error;
+  // Unknown function name.
+  EXPECT_FALSE(CodeLayout::LoadCalibrationText("func nope 1000\n", &error));
+  // Malformed lines: missing size, non-numeric size, unknown directive.
+  EXPECT_FALSE(CodeLayout::LoadCalibrationText("func scan_core\n", &error));
+  EXPECT_FALSE(CodeLayout::LoadCalibrationText("func scan_core x\n", &error));
+  EXPECT_FALSE(CodeLayout::LoadCalibrationText("resize Scan 9000\n", &error));
+  // Non-positive sizes.
+  EXPECT_FALSE(CodeLayout::LoadCalibrationText("func scan_core 0\n", &error));
+  EXPECT_FALSE(
+      CodeLayout::LoadCalibrationText("module Buffer -5\n", &error));
+  // A failed load must not install a partial layout.
+  EXPECT_EQ(CodeLayout::Default().info(FuncId::kScanCore).size_bytes, 3500u);
+}
+
+TEST(CodeLayoutTest, LoadCalibrationMissingFileFails) {
+  CalibrationGuard guard;
+  std::string error;
+  EXPECT_FALSE(
+      CodeLayout::LoadCalibration("/nonexistent/calibration.txt", &error));
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(FuncSetTest, BasicSetOperations) {
   bufferdb::FuncSet set;
   EXPECT_TRUE(set.empty());

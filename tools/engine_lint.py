@@ -33,8 +33,8 @@ see (see DESIGN.md section 9):
                             expressions through compiled kernel programs
                             (expr/vector_eval.h). The deliberate interpreter
                             fallback (compiler returned nullptr) is annotated
-                            `// allow-scalar-eval (fallback)` on the same or
-                            the preceding line.
+                            `// LINT: allow-scalar-eval(<reason>)` on the
+                            same or the preceding line.
   ENG007 syscall-containment perf_event_open / raw syscall() only appear
                             under src/perf/ -- hardware-counter access goes
                             through perf::PerfCounterGroup so the degraded
@@ -49,11 +49,16 @@ see (see DESIGN.md section 9):
                             instead of re-decoded. The deliberate cases (a
                             leaf decoding rows it gathered itself, with no
                             batch source to alias from) are annotated
-                            `// engine-lint: allow-row-decode(<reason>)` on
-                            the same or the preceding line.
+                            `// LINT: allow-row-decode(<reason>)` on the
+                            same or the preceding line.
+
+Suppressions use one canonical grammar across all rules:
+`// LINT: allow-<rule>(<reason>)`. The deprecated aliases
+`// engine-lint: allow-<rule>(...)` and bare `// allow-<rule> (...)` are
+still honored but should not appear in new code.
 
 Usage:
-  engine_lint.py [--root DIR] [--self-test] [paths ...]
+  engine_lint.py [--root DIR] [--format {text,json}] [--self-test] [paths ...]
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage error.
 Runs as a tier-1 ctest (`engine_lint`, `engine_lint_selftest`) and in the
@@ -63,6 +68,7 @@ Runs as a tier-1 ctest (`engine_lint`, `engine_lint_selftest`) and in the
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -74,14 +80,20 @@ from typing import Iterable
 HEADER_EXTS = {".h", ".hpp"}
 SOURCE_EXTS = {".h", ".hpp", ".cc", ".cpp"}
 
+# Canonical suppression grammar, one form for every rule:
+#   `// LINT: allow-<rule>(<reason>)`
+# on the offending line or the //-comment block right above it.  The
+# historical spellings -- `// engine-lint: allow-<rule>(...)` (early ENG008)
+# and the bare `// allow-<rule> (...)` (early ENG006) -- are deprecated
+# aliases: annotated_lines() matches the bare `allow-<rule>` token, which all
+# three spellings contain, so old annotations keep working while every
+# message and doc advertises only the canonical form.
 ALLOW_ALLOC = "LINT: allow-alloc"
 ALLOW_PARTIAL_OPERATOR = "LINT: allow-partial-operator"
 ALLOW_THREAD = "LINT: allow-thread"
-# Accepts both `// allow-scalar-eval (fallback)` and the LINT-prefixed form.
-ALLOW_SCALAR_EVAL = "allow-scalar-eval"
+ALLOW_SCALAR_EVAL = "LINT: allow-scalar-eval"
 ALLOW_SYSCALL = "LINT: allow-syscall"
-# Accepts both `// engine-lint: allow-row-decode(...)` and a bare form.
-ALLOW_ROW_DECODE = "allow-row-decode"
+ALLOW_ROW_DECODE = "LINT: allow-row-decode"
 
 
 @dataclass(frozen=True)
@@ -93,6 +105,11 @@ class Finding:
 
     def render(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_json(self) -> str:
+        return json.dumps({"file": self.path, "line": self.line,
+                           "rule": self.rule, "message": self.message},
+                          sort_keys=True)
 
 
 # ---------------------------------------------------------------------------
@@ -179,10 +196,16 @@ def line_of(text: str, offset: int) -> int:
 
 
 def annotated_lines(raw: str, marker: str) -> set[int]:
-    """Line numbers carrying a given `// LINT: ...` marker (before stripping)."""
+    """Line numbers carrying a suppression annotation (before stripping).
+
+    `marker` is the canonical `LINT: allow-<rule>` spelling; matching is on
+    the bare `allow-<rule>` token so the deprecated `engine-lint:`-prefixed
+    and bare aliases are honored too.
+    """
+    token = marker.split(": ", 1)[-1]
     lines = set()
     for idx, line in enumerate(raw.splitlines(), start=1):
-        if marker in line:
+        if token in line:
             lines.add(idx)
     return lines
 
@@ -426,7 +449,7 @@ def check_scalar_eval(path: str, raw: str, stripped: str) -> list[Finding]:
                 path, line, "ENG006",
                 "per-tuple expression interpreter inside NextBatch(); use a "
                 "compiled kernel program (expr/vector_eval.h) or annotate the "
-                "fallback `// allow-scalar-eval (fallback)`"))
+                f"fallback `// {ALLOW_SCALAR_EVAL}(<reason>)`"))
     return findings
 
 
@@ -456,7 +479,7 @@ def check_row_decode(path: str, raw: str, stripped: str) -> list[Finding]:
                 "RowBatchDecoder::Decode inside NextBatch(); use "
                 "DecodeMissing with the child's BatchColumns() so published "
                 "columns are aliased instead of re-decoded, or annotate "
-                "`// engine-lint: allow-row-decode(<reason>)`"))
+                f"`// {ALLOW_ROW_DECODE}(<reason>)`"))
     return findings
 
 
@@ -686,11 +709,11 @@ const uint8_t* GoodOp::Next() {
 size_t GoodOp::NextBatch(const uint8_t** out, size_t max) {
   (void)out;
   // The annotated interpreter fallback must not trip ENG006.
-  Value v = evaluator_->Evaluate(row_);  // allow-scalar-eval (fallback)
+  Value v = evaluator_->Evaluate(row_);  // LINT: allow-scalar-eval(fallback)
   (void)v;
   // DecodeMissing is the sanctioned batch decode: never trips ENG008.
   RowBatchDecoder::DecodeMissing(out, max, schema_, cols_, nullptr, &vbatch_);
-  // engine-lint: allow-row-decode(leaf: gathered rows, no batch source)
+  // LINT: allow-row-decode(leaf: gathered rows, no batch source)
   RowBatchDecoder::Decode(out, max, schema_, cols_, &vbatch_);
   return max != 0 ? 0 : 0;
 }
@@ -708,6 +731,20 @@ namespace bufferdb::perf {
 // a raw syscall is allowed without an annotation.
 long OpenCounter() { return syscall(__NR_perf_event_open, nullptr, 0, -1, -1, 0); }
 }  // namespace bufferdb::perf
+""",
+    "src/exec/good_legacy_alias.cc": """\
+#include "exec/good.h"
+namespace bufferdb {
+// The deprecated annotation spellings (pre-unification) must keep
+// suppressing: `engine-lint:`-prefixed and bare `allow-*` forms.
+size_t GoodOp::NextBatch(const uint8_t** out, size_t max) {
+  Value v = evaluator_->Evaluate(row_);  // allow-scalar-eval (fallback)
+  (void)v;
+  // engine-lint: allow-row-decode(leaf: gathered rows, no batch source)
+  RowBatchDecoder::Decode(out, max, schema_, cols_, &vbatch_);
+  return 0;
+}
+}  // namespace bufferdb
 """,
     "src/exec/good_annotated_syscall.cc": """\
 #include <unistd.h>
@@ -757,6 +794,15 @@ def self_test() -> int:
                 noise = [f.render() for f in findings if f.path.replace(os.sep, "/") == rel]
                 failures.append(f"clean file {rel} produced findings: {noise}")
 
+        # --format json: every finding round-trips with the exact keys the
+        # CI problem matcher consumes.
+        for f in findings:
+            obj = json.loads(f.as_json())
+            if obj != {"file": f.path, "line": f.line, "rule": f.rule,
+                       "message": f.message}:
+                failures.append(f"as_json round-trip mismatch: {obj}")
+                break
+
     if failures:
         print("engine_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
@@ -772,6 +818,11 @@ def main(argv: list[str]) -> int:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--root", default=None,
                         help="repo root (default: parent of tools/)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="finding output format: `text` (file:line: "
+                             "[RULE] message) or `json` (one object per "
+                             "line with file/line/rule/message keys, for "
+                             "the CI problem matcher and tooling)")
     parser.add_argument("--self-test", action="store_true",
                         help="seed one violation per rule class and verify "
                              "each is detected")
@@ -789,7 +840,7 @@ def main(argv: list[str]) -> int:
 
     findings = run_lint(root, args.paths)
     for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
-        print(f.render())
+        print(f.as_json() if args.format == "json" else f.render())
     if findings:
         print(f"engine_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1

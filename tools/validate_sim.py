@@ -23,9 +23,21 @@ with a SKIPPED verdict unless --require-hw is given.  The simulated side is
 deterministic, so a basic sanity gate (buffering must not *increase*
 simulated L1i misses in any configuration) applies even without a PMU.
 
+A second mode cross-checks *instruction footprints* instead of cache
+misses: `--footprint-audit` takes the JSON report of
+`tools/footprint_audit.py` (shared-once bytes measured from the real
+binary's call graph) and `--footprint-sim` takes the JSON-lines output of
+`bench_table2_footprints` (the simulator's per-module footprints).  The
+two measure different binaries by different methods, so absolute bytes are
+not comparable; what must hold is the *ordering* -- modules the audit
+measures as bigger must simulate bigger.  Gate: Spearman rho >= 0.5 over
+the modules present on both sides, and every simulated module must appear
+in the audit.
+
 Usage:
   bench_sim_vs_hw --smoke | tools/validate_sim.py
   tools/validate_sim.py results.jsonl [--min-agreement 0.8] [--require-hw]
+  tools/validate_sim.py --footprint-audit fp.json --footprint-sim t2.jsonl
   tools/validate_sim.py --self-test
 """
 
@@ -162,6 +174,78 @@ def validate(records: list[dict], min_agreement: float,
     return 1 if failures else 0
 
 
+def load_footprint_sim(stream) -> dict[str, int]:
+    """Reads bench_table2_footprints JSON lines -> {module: simulated bytes}."""
+    sim = {}
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"validate_sim: not JSON: {line[:80]!r} ({exc})")
+        if obj.get("bench") == "table2_footprints" and "module" in obj:
+            sim[obj["module"]] = int(obj["bytes"])
+    return sim
+
+
+def validate_footprints(audit: dict, sim: dict[str, int],
+                        min_rho: float, out=sys.stdout) -> int:
+    """Cross-checks audited (real-binary) vs simulated per-module footprints.
+
+    `audit` is the parsed --json report of tools/footprint_audit.py; `sim`
+    maps module name -> simulated shared-once bytes.  Absolute bytes differ
+    by construction (different binaries, different accounting), so the gate
+    is ordinal: Spearman rho over common modules >= min_rho, and no
+    simulated module may be missing from the audit (that means the module
+    manifest drifted from sim::ModuleName).
+    """
+    audited = {name: m["shared_once_bytes"]
+               for name, m in audit.get("modules", {}).items()}
+    if not audited:
+        print("validate_sim: footprint FAIL: audit report has no modules",
+              file=out)
+        return 1
+    if not sim:
+        print("validate_sim: footprint FAIL: no table2_footprints records",
+              file=out)
+        return 1
+
+    failures = 0
+    missing = sorted(set(sim) - set(audited))
+    if missing:
+        print(f"validate_sim: footprint FAIL: simulated modules absent from "
+              f"the audit: {', '.join(missing)}", file=out)
+        failures += 1
+
+    common = sorted(set(sim) & set(audited))
+    if len(common) < 3:
+        print(f"validate_sim: footprint FAIL: only {len(common)} modules on "
+              f"both sides; need >= 3 for a rank comparison", file=out)
+        return 1
+
+    for name in common:
+        print(f"validate_sim: footprint {name}: audited {audited[name]} B, "
+              f"simulated {sim[name]} B", file=out)
+
+    rho = spearman_rho([float(audited[n]) for n in common],
+                       [float(sim[n]) for n in common])
+    if rho is None:
+        print("validate_sim: footprint FAIL: rank correlation undefined "
+              "(constant footprints on one side)", file=out)
+        return 1
+    print(f"validate_sim: footprint Spearman rho(audited, simulated) = "
+          f"{rho:.3f} over {len(common)} modules (bar {min_rho:.2f})",
+          file=out)
+    if rho < min_rho:
+        failures += 1
+
+    print(f"validate_sim: footprint {'FAIL' if failures else 'PASS'}",
+          file=out)
+    return 1 if failures else 0
+
+
 def _rec(config, sim_o, sim_b, hw_o, hw_b, hw_ok=True, buffers=1):
     return {"bench": "sim_vs_hw", "config": config, "buffers_added": buffers,
             "sim_orig_l1i": sim_o, "sim_buf_l1i": sim_b,
@@ -204,6 +288,34 @@ def self_test() -> int:
              _rec("b", 2000, 100, 9000, 800)]
     assert validate(noisy, 0.8, False, io.StringIO()) == 0
 
+    # Footprint cross-check: ordering agrees -> PASS despite different
+    # absolute bytes.
+    def _audit(**mods):
+        return {"modules": {n: {"shared_once_bytes": b}
+                            for n, b in mods.items()}}
+    aligned = _audit(Scan=40000, Sort=34000, Buffer=20000, Limit=17000)
+    sim_ok = {"Scan": 9000, "Sort": 8000, "Buffer": 5000, "Limit": 4000}
+    assert validate_footprints(aligned, sim_ok, 0.5, io.StringIO()) == 0
+    # Ordering inverted -> FAIL.
+    sim_bad = {"Scan": 4000, "Sort": 5000, "Buffer": 8000, "Limit": 9000}
+    assert validate_footprints(aligned, sim_bad, 0.5, io.StringIO()) == 1
+    # Simulated module the audit doesn't know (manifest drift) -> FAIL.
+    sim_drift = dict(sim_ok, NewOperator=1)
+    assert validate_footprints(aligned, sim_drift, 0.5, io.StringIO()) == 1
+    # Too few common modules for a rank comparison -> FAIL.
+    assert validate_footprints(_audit(Scan=1, Sort=2),
+                               {"Scan": 1, "Sort": 2}, 0.5,
+                               io.StringIO()) == 1
+    # Empty inputs -> FAIL.
+    assert validate_footprints({}, sim_ok, 0.5, io.StringIO()) == 1
+    assert validate_footprints(aligned, {}, 0.5, io.StringIO()) == 1
+
+    records = load_footprint_sim(io.StringIO(
+        '{"bench": "table2_footprints", "scale_factor": 0.002}\n'
+        '{"bench": "table2_footprints", "module": "Scan", "bytes": 9000}\n'
+        '{"bench": "other", "module": "Scan", "bytes": 1}\n'))
+    assert records == {"Scan": 9000}
+
     print("validate_sim: self-test OK")
     return 0
 
@@ -215,11 +327,29 @@ def main() -> int:
                     help="direction-agreement bar (default 0.8)")
     ap.add_argument("--require-hw", action="store_true",
                     help="fail instead of skipping when no PMU data present")
+    ap.add_argument("--footprint-audit", metavar="FP_JSON",
+                    help="footprint_audit.py --json report; enables the "
+                         "footprint cross-check mode")
+    ap.add_argument("--footprint-sim", metavar="T2_JSONL",
+                    help="bench_table2_footprints JSON lines (default stdin "
+                         "in footprint mode)")
+    ap.add_argument("--min-rho", type=float, default=0.5,
+                    help="footprint rank-correlation bar (default 0.5)")
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
 
     if args.self_test:
         return self_test()
+
+    if args.footprint_audit:
+        with open(args.footprint_audit, encoding="utf-8") as f:
+            audit = json.load(f)
+        if args.footprint_sim:
+            with open(args.footprint_sim, encoding="utf-8") as f:
+                sim = load_footprint_sim(f)
+        else:
+            sim = load_footprint_sim(sys.stdin)
+        return validate_footprints(audit, sim, args.min_rho)
 
     if args.input:
         with open(args.input, encoding="utf-8") as f:
