@@ -33,6 +33,7 @@ const char kQuery3[] =
 namespace {
 bool g_smoke_mode = false;
 bool g_hw_mode = false;
+bool g_adaptive_mode = false;
 bool g_json_strict = false;
 size_t g_batch_size = 1;
 size_t g_buffer_size = BufferOperator::kDefaultBufferSize;
@@ -109,6 +110,8 @@ size_t BatchSizeArg() { return g_batch_size; }
 
 size_t BufferSizeArg() { return g_buffer_size; }
 
+bool AdaptiveArg() { return g_adaptive_mode; }
+
 const std::string& CalibrationArg() { return g_calibration_path; }
 
 void Note(const char* fmt, ...) {
@@ -133,6 +136,10 @@ double ScaleFactorFromArgs(int argc, char** argv) {
     }
     if (arg == "--hw") {
       g_hw_mode = true;
+      continue;
+    }
+    if (arg == "--adaptive") {
+      g_adaptive_mode = true;
       continue;
     }
     if (arg == "--json-strict") {
@@ -178,10 +185,11 @@ void PrintJsonHeader(const char* bench_name, double scale_factor) {
       buf, sizeof(buf),
       "{\"bench\": \"%s\", \"scale_factor\": %.6g, \"smoke\": %s, "
       "\"hw\": %s, \"batch_size\": %zu, \"buffer_size\": %zu, "
-      "\"calibrated\": %s}",
+      "\"calibrated\": %s, \"adaptive\": %s}",
       bench_name, scale_factor, g_smoke_mode ? "true" : "false",
       g_hw_mode ? "true" : "false", g_batch_size, g_buffer_size,
-      g_calibration_path.empty() ? "false" : "true");
+      g_calibration_path.empty() ? "false" : "true",
+      g_adaptive_mode ? "true" : "false");
   EmitJsonLine(buf);
 }
 
@@ -201,6 +209,8 @@ QueryRun RunQuery(Catalog& catalog, const std::string& sql,
       options.batch_size > 0 ? options.batch_size : BatchSizeArg();
   planner_options.refinement = options.refinement;
   planner_options.refinement.buffer_size = options.buffer_size;
+  planner_options.refinement.adaptive_buffering =
+      options.adaptive_buffering || g_adaptive_mode;
   PhysicalPlanner planner(&catalog, planner_options);
 
   QueryRun run;
@@ -220,6 +230,9 @@ QueryRun RunQuery(Catalog& catalog, const std::string& sql,
     ctx.cpu = &cpu;
     auto t0 = std::chrono::steady_clock::now();
     auto rows = ExecutePlanRows(root.get(), &ctx);
+    for (int e = 1; e < options.executions && rows.ok(); ++e) {
+      rows = ExecutePlanRows(root.get(), &ctx);
+    }
     run.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -240,6 +253,9 @@ QueryRun RunQuery(Catalog& catalog, const std::string& sql,
     ExecContext ctx;
     auto t0 = std::chrono::steady_clock::now();
     auto rows = ExecutePlanRows(root.get(), &ctx);
+    for (int e = 1; e < options.executions && rows.ok(); ++e) {
+      rows = ExecutePlanRows(root.get(), &ctx);
+    }
     run.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -257,6 +273,34 @@ QueryRun RunQuery(Catalog& catalog, const std::string& sql,
     if (!options.simulate) run.rows = std::move(*rows);
     run.profile.AttributeGroups(run.report);
   }
+  // Post-run buffer telemetry (walks through profiler wrappers).
+  CollectBufferStats(*root, &run.buffers);
+  return run;
+}
+
+QueryRun RunPlan(const std::function<OperatorPtr()>& build,
+                 const RunOptions& options) {
+  QueryRun run;
+  OperatorPtr root = build();
+  run.plan_text = PrintPlan(*root);
+  sim::SimCpu cpu(options.sim_config);
+  ExecContext ctx;
+  ctx.cpu = &cpu;
+  auto t0 = std::chrono::steady_clock::now();
+  auto rows = ExecutePlanRows(root.get(), &ctx);
+  for (int e = 1; e < options.executions && rows.ok(); ++e) {
+    rows = ExecutePlanRows(root.get(), &ctx);
+  }
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!rows.ok()) {
+    std::fprintf(stderr, "exec failed: %s\n", rows.status().ToString().c_str());
+    std::exit(1);
+  }
+  run.rows = std::move(*rows);
+  run.breakdown = cpu.Breakdown();
+  CollectBufferStats(*root, &run.buffers);
   return run;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,10 @@ Catalog& SharedTpch(double scale_factor);
 ///                  tells benches (via SmokeMode) to cut iteration counts.
 ///   --batch=N      NextBatch width for batch-aware consumers (default 1).
 ///   --buffer=N     Buffer operator capacity in tuples.
+///   --adaptive     Turn on runtime-adaptive buffer sizing
+///                  (RefinementOptions::adaptive_buffering) for every
+///                  refined RunQuery: buffers sweep candidate capacities at
+///                  refill boundaries and lock the cheapest (DESIGN.md §14).
 ///   --calibration=PATH
 ///                  Loads a measured code-layout calibration (the file
 ///                  `tools/footprint_audit.py --emit-calibration` writes)
@@ -66,6 +71,9 @@ size_t BatchSizeArg();
 
 /// Buffer capacity selected by `--buffer=N` (kDefaultBufferSize when absent).
 size_t BufferSizeArg();
+
+/// True once ScaleFactorFromArgs has seen `--adaptive`.
+bool AdaptiveArg();
 
 /// Calibration file selected by `--calibration=PATH` (empty when absent).
 const std::string& CalibrationArg();
@@ -105,6 +113,9 @@ struct QueryRun {
   double wall_seconds = 0;
   /// Per-operator hardware attribution; empty() unless hw profiling ran.
   perf::QueryProfile profile;
+  /// Post-run per-BufferOperator runtime stats (chosen capacity, demotion,
+  /// refill counts), in plan pre-order. Empty when the plan has no buffers.
+  std::vector<BufferRuntimeStats> buffers;
 };
 
 struct RunOptions {
@@ -122,6 +133,15 @@ struct RunOptions {
   /// twice — simulated first, then profiled with the simulator detached —
   /// so neither measurement observes the other's overhead.
   bool hw_profile = false;
+  /// Runtime-adaptive buffer sizing for refined plans. Defaults to the
+  /// `--adaptive` flag; setting it here forces it for this run regardless.
+  bool adaptive_buffering = false;
+  /// How many times to execute the plan (Open -> drain -> Close), modeling a
+  /// re-executed prepared statement. Counters accumulate across executions
+  /// and `rows` holds the last execution's output. Operators keep their
+  /// state across executions, so an adaptive buffer that calibrated or
+  /// demoted itself in the first execution serves the later ones frozen.
+  int executions = 1;
   sim::SimConfig sim_config;
   RefinementOptions refinement;  // cardinality/l1i defaults; buffer_size and
                                  // merge flags applied from above.
@@ -131,6 +151,15 @@ struct RunOptions {
 /// RunOptions); dies on error.
 QueryRun RunQuery(Catalog& catalog, const std::string& sql,
                   const RunOptions& options = RunOptions());
+
+/// Simulates a hand-built operator tree — for bench scenarios the SQL
+/// planner never emits (e.g. the naive rescan nested-loop join, which the
+/// planner always replaces with a hash/merge/index join). `build` constructs
+/// a fresh tree, which then runs `options.executions` times on one simulated
+/// CPU exactly like RunQuery's simulated pass; only the simulate path is
+/// supported (refine/hw_profile/buffer_size are the builder's business).
+QueryRun RunPlan(const std::function<OperatorPtr()>& build,
+                 const RunOptions& options = RunOptions());
 
 /// Prints (stderr) an original-vs-buffered comparison in the paper's figure
 /// format, and emits (stdout) one JSON line with both runs' sim counters,

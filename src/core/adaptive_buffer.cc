@@ -1,0 +1,237 @@
+#include "core/adaptive_buffer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/buffer_operator.h"
+#include "exec/operator.h"
+#include "perf/perf_counters.h"
+#include "sim/sim_cpu.h"
+
+namespace bufferdb {
+
+AdaptiveBufferController::AdaptiveBufferController(
+    const AdaptiveBufferOptions& options, size_t initial_capacity)
+    : options_(options),
+      initial_capacity_(initial_capacity == 0 ? 1 : initial_capacity),
+      chosen_capacity_(initial_capacity_) {
+  size_t lo = std::max<size_t>(1, options_.min_capacity);
+  size_t hi = std::max(lo, options_.max_capacity);
+  options_.min_capacity = lo;
+  options_.max_capacity = std::max(hi, initial_capacity_);
+  for (size_t c = lo; c < hi; c *= 2) candidates_.push_back(c);
+  candidates_.push_back(hi);
+  candidates_.push_back(initial_capacity_);
+  std::sort(candidates_.begin(), candidates_.end());
+  candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
+                    candidates_.end());
+  best_cost_.assign(candidates_.size(), -1.0);
+}
+
+size_t AdaptiveBufferController::OnOpen(ExecContext* ctx,
+                                        double estimated_rows) {
+  if (state_ != State::kCalibrating) return chosen_capacity_;
+  // (Re)bind the cost signal each calibrating Open; sweep progress carries
+  // across Opens so a Rescan-triggered re-execution resumes, not restarts.
+  cpu_ = ctx->cpu;
+  hw_ = nullptr;
+  if (cpu_ != nullptr) {
+    signal_ = Signal::kSim;
+  } else {
+    perf::PerfCounterGroup& group = perf::ThreadCounterGroup();
+    if (group.available() &&
+        group.event_supported(perf::HwEvent::kCycles)) {
+      signal_ = Signal::kHw;
+      hw_ = &group;
+    } else {
+      signal_ = Signal::kWall;
+    }
+  }
+  if (estimated_rows >= 0.0) {
+    double frac = estimated_rows * options_.calibration_fraction;
+    budget_tuples_ = std::max(options_.min_calibration_tuples,
+                              static_cast<size_t>(frac));
+  } else {
+    // Unknown cardinality is treated as large (like the refiner does):
+    // afford the full sweep.
+    budget_tuples_ = static_cast<size_t>(-1);
+  }
+  window_open_ = false;
+  return candidates_[static_cast<size_t>(candidate_)];
+}
+
+size_t AdaptiveBufferController::OnRefillBoundary(size_t tuples_served) {
+  // Frozen fast path: once locked (or demoted) every boundary is this one
+  // branch and a return — zero control overhead in steady state.
+  if (state_ != State::kCalibrating) return chosen_capacity_;
+  const double now = ReadCostNow();
+  if (window_open_ && tuples_served > 0) {
+    calibration_tuples_ += tuples_served;
+    if (warmup_pending_) {
+      // The very first window runs on cold caches; its cost would bias the
+      // sweep against whichever candidate went first. Discard it.
+      warmup_pending_ = false;
+    } else {
+      RecordSample((now - window_start_cost_) /
+                   static_cast<double>(tuples_served));
+    }
+  }
+  if (state_ != State::kCalibrating) return chosen_capacity_;
+  size_t next = candidates_[static_cast<size_t>(candidate_)];
+  if (calibration_tuples_ + next > budget_tuples_) {
+    // Short stream: don't spend what's left of it on measurement. Lock the
+    // best capacity seen so far.
+    Lock();
+    return chosen_capacity_;
+  }
+  window_start_cost_ = now;
+  window_open_ = true;
+  return next;
+}
+
+void AdaptiveBufferController::RecordSample(double cost_per_tuple) {
+  ++windows_measured_;
+  double& best = best_cost_[static_cast<size_t>(candidate_)];
+  if (best < 0.0 || cost_per_tuple < best) best = cost_per_tuple;
+  if (++samples_taken_ >= options_.samples_per_candidate) {
+    samples_taken_ = 0;
+    if (++candidate_ >= static_cast<int>(candidates_.size())) Lock();
+  }
+}
+
+void AdaptiveBufferController::Lock() {
+  if (state_ != State::kCalibrating) return;
+  double initial_cost = -1.0;
+  double best_cost = -1.0;
+  size_t best = initial_capacity_;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    double c = best_cost_[i];
+    if (c < 0.0) continue;
+    if (best_cost < 0.0 || c < best_cost) {
+      best_cost = c;
+      best = candidates_[i];
+    }
+    if (candidates_[i] == initial_capacity_) initial_cost = c;
+  }
+  if (best_cost >= 0.0) {
+    // Hysteresis: stay on the statically configured capacity unless the
+    // winner is better by a real margin — the flat region of Fig. 12 is
+    // full of measurement ties.
+    if (initial_cost >= 0.0 &&
+        best_cost >= initial_cost * (1.0 - options_.hysteresis)) {
+      chosen_capacity_ = initial_capacity_;
+    } else {
+      chosen_capacity_ = best;
+    }
+  }
+  state_ = State::kLocked;
+  window_open_ = false;
+}
+
+void AdaptiveBufferController::OnStreamEnd(uint64_t total_rows) {
+  if (state_ == State::kCalibrating) Lock();
+  if (options_.demote_row_floor >= 0.0 &&
+      static_cast<double>(total_rows) < options_.demote_row_floor) {
+    // The static refiner's cardinality guess was wrong: this stream is too
+    // short for buffering to pay off (§6/§7.3). Pass through from now on.
+    state_ = State::kDemoted;
+  }
+}
+
+void AdaptiveBufferController::OnRescanMiss(uint64_t observed_rows) {
+  if (state_ == State::kDemoted) return;
+  uint64_t want = observed_rows + 1;  // +1: the fill loop must see the
+                                      // terminating null to set end-of-stream
+                                      // within the single refill.
+  if (want > options_.max_capacity) return;
+  if (state_ == State::kCalibrating) {
+    // A rescanned stream is about to be re-produced wholesale; finishing the
+    // capacity sweep is pointless next to making the re-execution the last
+    // one. Freeze on whatever the sweep knows so far, then grow below.
+    state_ = State::kLocked;
+    window_open_ = false;
+  }
+  if (static_cast<size_t>(want) > chosen_capacity_) {
+    chosen_capacity_ = static_cast<size_t>(want);
+  }
+}
+
+double AdaptiveBufferController::ReadCostNow() const {
+  switch (signal_) {
+    case Signal::kSim:
+      // Price the counter deltas exactly like the fig12 bench does, so the
+      // controller optimizes the metric the sweep is judged on.
+      return cpu_->Breakdown().total_cycles();
+    case Signal::kHw:
+      return static_cast<double>(hw_->ReadNow().cycles);
+    case Signal::kWall:
+    case Signal::kNone: {
+      auto now = std::chrono::steady_clock::now().time_since_epoch();
+      return static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+    }
+  }
+  return 0.0;
+}
+
+const char* AdaptiveBufferController::signal_name() const {
+  switch (signal_) {
+    case Signal::kSim: return "sim";
+    case Signal::kHw: return "hw";
+    case Signal::kWall: return "wall";
+    case Signal::kNone: return "none";
+  }
+  return "none";
+}
+
+const char* AdaptiveBufferController::StateName() const {
+  switch (state_) {
+    case State::kCalibrating: return "calibrating";
+    case State::kLocked: return "locked";
+    case State::kDemoted: return "demoted";
+  }
+  return "calibrating";
+}
+
+std::string AdaptiveBufferController::Summary() const {
+  // Append-form to dodge gcc 12's -O3 -Wrestrict false positive (PR105651).
+  std::string out = "adaptive: ";
+  out += std::to_string(initial_capacity_);
+  out += " -> ";
+  out += std::to_string(chosen_capacity_);
+  out += " (";
+  out += StateName();
+  out += ", signal=";
+  out += signal_name();
+  out += ", windows=";
+  out += std::to_string(windows_measured_);
+  out += ")";
+  return out;
+}
+
+void CollectBufferStats(const Operator& root,
+                        std::vector<BufferRuntimeStats>* out) {
+  if (const auto* buf = dynamic_cast<const BufferOperator*>(&root)) {
+    BufferRuntimeStats s;
+    s.label = buf->label();
+    s.initial_capacity = buf->initial_buffer_size();
+    s.final_capacity = buf->buffer_size();
+    const AdaptiveBufferController* c = buf->controller();
+    s.adaptive = c != nullptr;
+    if (c != nullptr) {
+      s.demoted = c->demoted();
+      s.state = c->StateName();
+      s.final_capacity = c->chosen_capacity();
+    } else {
+      s.state = "static";
+    }
+    s.refills = buf->refills();
+    s.tuples_buffered = buf->tuples_buffered();
+    out->push_back(std::move(s));
+  }
+  for (size_t i = 0; i < root.num_children(); ++i) {
+    CollectBufferStats(*root.child(i), out);
+  }
+}
+
+}  // namespace bufferdb

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/buffer_operator.h"
 #include "core/execution_group.h"
 
 namespace bufferdb {
@@ -23,6 +24,14 @@ void PrintRec(const Operator& op, int depth, bool show_footprints,
     funcs.AddAll(op.hot_funcs());
     std::snprintf(buf, sizeof(buf), " footprint=%.1fK",
                   static_cast<double>(funcs.TotalBytes()) / 1000.0);
+    line += buf;
+  }
+  if (const auto* buffer = dynamic_cast<const BufferOperator*>(&op)) {
+    // EXPLAIN shows the configured capacity; the post-run (adaptive) final
+    // capacity is reported by QueryProfile via Operator::AnalyzeDetail.
+    std::snprintf(buf, sizeof(buf), " capacity=%zu%s",
+                  buffer->initial_buffer_size(),
+                  buffer->controller() != nullptr ? " adaptive" : "");
     line += buf;
   }
   if (op.excluded_from_buffering()) line += " [no-buffer]";

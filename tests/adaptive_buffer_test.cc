@@ -1,0 +1,245 @@
+// Runtime-adaptive buffering (DESIGN.md §14): the controller's calibrate ->
+// lock / demote state machine, the Rescan-miss capacity growth, and — the
+// acceptance bar — result identity between adaptive and static plans across
+// batch widths and Exchange degrees. The adaptive machinery may change *how*
+// tuples flow (capacities, pass-through, replays) but never *which* tuples.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adaptive_buffer.h"
+#include "core/buffer_operator.h"
+#include "exec/seq_scan.h"
+#include "plan/physical_planner.h"
+#include "sim/sim_cpu.h"
+#include "sql/binder.h"
+#include "test_util.h"
+#include "tpch/tpch_gen.h"
+
+namespace bufferdb {
+namespace {
+
+using testutil::Canonical;
+using testutil::MakeKvTable;
+using testutil::RunPlan;
+
+std::unique_ptr<Table> SequentialTable(int n) {
+  std::vector<std::pair<int64_t, double>> rows;
+  for (int i = 0; i < n; ++i) rows.push_back({i, i * 0.5});
+  return MakeKvTable("t", rows);
+}
+
+AdaptiveBufferOptions SmallSweep() {
+  AdaptiveBufferOptions options;
+  options.min_capacity = 4;
+  options.max_capacity = 64;
+  options.min_calibration_tuples = 16;
+  return options;
+}
+
+TEST(AdaptiveBufferControllerTest, CalibratesLocksAndFreezes) {
+  auto table = SequentialTable(2000);
+  BufferOperator buffer(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr), 8);
+  buffer.EnableAdaptive(SmallSweep());
+  sim::SimCpu cpu;
+  ExecContext ctx;
+  ctx.cpu = &cpu;
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  size_t i = 0;
+  for (const uint8_t* row; (row = buffer.Next()) != nullptr; ++i) {
+    ASSERT_EQ(row, table->row(i)) << "tuple " << i;
+  }
+  EXPECT_EQ(i, 2000u);
+  const AdaptiveBufferController* c = buffer.controller();
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->locked());
+  EXPECT_GT(c->windows_measured(), 0);
+  EXPECT_GE(c->chosen_capacity(), 4u);
+  EXPECT_LE(c->chosen_capacity(), 64u);
+  buffer.Close();
+
+  // Frozen re-Open: the locked choice is served without re-calibrating.
+  int windows_before = c->windows_measured();
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  EXPECT_EQ(buffer.buffer_size(), c->chosen_capacity());
+  for (i = 0; buffer.Next() != nullptr; ++i) {
+  }
+  EXPECT_EQ(i, 2000u);
+  EXPECT_EQ(c->windows_measured(), windows_before);
+  buffer.Close();
+}
+
+TEST(AdaptiveBufferControllerTest, ShortStreamDemotesToPassThrough) {
+  auto table = SequentialTable(20);
+  BufferOperator buffer(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr), 8);
+  AdaptiveBufferOptions options = SmallSweep();
+  options.demote_row_floor = 128.0;
+  buffer.EnableAdaptive(options);
+  ExecContext ctx;  // wall-clock signal: demotion is cardinality-driven.
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  size_t i = 0;
+  while (buffer.Next() != nullptr) ++i;
+  ASSERT_EQ(i, 20u);
+  EXPECT_TRUE(buffer.controller()->demoted());
+  EXPECT_FALSE(buffer.pass_through());  // demotion applies at the next Open
+  buffer.Close();
+
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  EXPECT_TRUE(buffer.pass_through());
+  // Pass-through still hands out the child's own rows, in order.
+  const uint8_t* row;
+  for (i = 0; (row = buffer.Next()) != nullptr; ++i) {
+    ASSERT_EQ(row, table->row(i));
+  }
+  EXPECT_EQ(i, 20u);
+  EXPECT_EQ(buffer.refills(), 0u);  // the array was never touched
+  buffer.Close();
+}
+
+TEST(AdaptiveBufferControllerTest, RescanMissGrowsCapacityUntilReplay) {
+  // The nested-loop shape: a parent rescans the buffered stream repeatedly.
+  // The first failed replay teaches the controller the stream's exact
+  // length; from then on the array holds the whole stream and every further
+  // Rescan replays without re-executing the child.
+  auto table = SequentialTable(20);
+  BufferOperator buffer(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr), 8);
+  buffer.EnableAdaptive(SmallSweep());
+  ExecContext ctx;
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  auto drain = [&] {
+    size_t n = 0;
+    for (const uint8_t* row; (row = buffer.Next()) != nullptr; ++n) {
+      EXPECT_EQ(row, table->row(n));
+    }
+    return n;
+  };
+  ASSERT_EQ(drain(), 20u);           // pass 1: multi-refill, end observed
+  ASSERT_TRUE(buffer.Rescan().ok()); // replay impossible -> miss feedback
+  EXPECT_EQ(buffer.controller()->chosen_capacity(), 21u);  // stream + 1
+  EXPECT_TRUE(buffer.controller()->locked());
+  ASSERT_EQ(drain(), 20u);           // pass 2: re-executed, single refill
+  EXPECT_EQ(buffer.refills(), 1u);
+  for (int pass = 0; pass < 3; ++pass) {
+    ASSERT_TRUE(buffer.Rescan().ok());
+    ASSERT_EQ(drain(), 20u);         // passes 3+: replayed from the array
+  }
+  EXPECT_EQ(buffer.replays(), 3u);
+  EXPECT_EQ(buffer.refills(), 1u);   // the child never ran again
+  buffer.Close();
+}
+
+TEST(AdaptiveBufferControllerTest, MissBeyondMaxCapacityLeavesChoiceAlone) {
+  auto table = SequentialTable(200);  // 200 + 1 > max_capacity 64
+  BufferOperator buffer(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr), 8);
+  buffer.EnableAdaptive(SmallSweep());
+  ExecContext ctx;
+  ASSERT_TRUE(buffer.Open(&ctx).ok());
+  size_t n = 0;
+  while (buffer.Next() != nullptr) ++n;
+  ASSERT_EQ(n, 200u);
+  ASSERT_TRUE(buffer.Rescan().ok());
+  EXPECT_LE(buffer.controller()->chosen_capacity(), 64u);
+  n = 0;
+  while (buffer.Next() != nullptr) ++n;
+  EXPECT_EQ(n, 200u);
+  buffer.Close();
+}
+
+// Planner-level: the adaptive_buffering knob decides whether refined plans
+// carry controllers; OFF must mean "exactly the static refiner".
+class AdaptivePlanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  OperatorPtr MustPlan(const std::string& sql, PlannerOptions options) {
+    sql::Binder binder(catalog_);
+    auto q = binder.BindSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    PhysicalPlanner planner(catalog_, options);
+    auto plan = planner.CreatePlan(*q);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return std::move(*plan);
+  }
+
+  static PlannerOptions Refined(bool adaptive, size_t batch = 1,
+                                size_t degree = 1) {
+    PlannerOptions options;
+    options.refine = true;
+    options.refinement.adaptive_buffering = adaptive;
+    options.batch_size = batch;
+    options.parallel_degree = degree;
+    return options;
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* AdaptivePlanTest::catalog_ = nullptr;
+
+constexpr char kAggSql[] =
+    "SELECT l_returnflag, COUNT(*) AS c FROM lineitem "
+    "WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag";
+
+TEST_F(AdaptivePlanTest, KnobControlsControllerAttachment) {
+  OperatorPtr off = MustPlan(kAggSql, Refined(false));
+  std::vector<BufferRuntimeStats> stats;
+  CollectBufferStats(*off, &stats);
+  ASSERT_FALSE(stats.empty());
+  for (const auto& s : stats) {
+    EXPECT_FALSE(s.adaptive);
+    EXPECT_EQ(s.state, "static");
+  }
+  OperatorPtr on = MustPlan(kAggSql, Refined(true));
+  stats.clear();
+  CollectBufferStats(*on, &stats);
+  ASSERT_FALSE(stats.empty());
+  for (const auto& s : stats) EXPECT_TRUE(s.adaptive);
+}
+
+TEST_F(AdaptivePlanTest, MatchesStaticResultsAcrossBatchWidths) {
+  for (size_t width : {1u, 7u, 256u, 1024u}) {
+    OperatorPtr st = MustPlan(kAggSql, Refined(false, width));
+    auto expected = Canonical(RunPlan(st.get()));
+    OperatorPtr ad = MustPlan(kAggSql, Refined(true, width));
+    auto actual = Canonical(RunPlan(ad.get()));
+    EXPECT_EQ(expected, actual) << "batch width " << width;
+  }
+}
+
+TEST_F(AdaptivePlanTest, MatchesStaticResultsAcrossExchangeDegrees) {
+  OperatorPtr serial = MustPlan(kAggSql, Refined(false));
+  auto expected = Canonical(RunPlan(serial.get()));
+  for (size_t degree : {1u, 2u, 8u}) {
+    OperatorPtr plan = MustPlan(kAggSql, Refined(true, 1, degree));
+    auto actual = Canonical(RunPlan(plan.get()));
+    EXPECT_EQ(expected, actual) << "degree " << degree;
+    // Every per-worker buffer clone calibrated independently on its own
+    // thread (the controller is deliberately unsynchronized).
+    std::vector<BufferRuntimeStats> stats;
+    CollectBufferStats(*plan, &stats);
+    for (const auto& s : stats) {
+      EXPECT_TRUE(s.adaptive);
+      EXPECT_NE(s.state, "calibrating") << s.label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bufferdb

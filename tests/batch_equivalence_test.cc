@@ -11,11 +11,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/adaptive_buffer.h"
 #include "core/buffer_operator.h"
 #include "exec/aggregation.h"
 #include "exec/filter.h"
@@ -78,6 +80,27 @@ std::vector<std::vector<Value>> RunPlanBatched(Operator* root, size_t batch) {
   return Decode(*rows, root->output_schema());
 }
 
+// CI's debug-contracts job re-runs this suite with BUFFERDB_ADAPTIVE_BUFFERING
+// set: every BufferOperator in every checked plan then carries a runtime
+// controller (DESIGN.md §14), so batch/tuple equivalence — and the contract
+// checker's slice poisoning — also covers mid-stream capacity resizing and
+// demotion. Unset (the default), the suite is bit-identical to the static
+// engine.
+bool AdaptiveFromEnv() {
+  const char* env = std::getenv("BUFFERDB_ADAPTIVE_BUFFERING");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void MaybeEnableAdaptive(Operator* op) {
+  if (!AdaptiveFromEnv()) return;
+  if (auto* buffer = dynamic_cast<BufferOperator*>(op)) {
+    buffer->EnableAdaptive(AdaptiveBufferOptions());
+  }
+  for (size_t i = 0; i < op->num_children(); ++i) {
+    MaybeEnableAdaptive(op->child(i));
+  }
+}
+
 void ExpectSameRows(const std::vector<std::vector<Value>>& expected,
                     const std::vector<std::vector<Value>>& actual) {
   ASSERT_EQ(expected.size(), actual.size());
@@ -105,6 +128,8 @@ class BatchEquivalenceTest : public ::testing::TestWithParam<size_t> {
     // compiles away.
     OperatorPtr tuple_plan = testutil::ContractChecked(factory());
     OperatorPtr batch_plan = testutil::ContractChecked(factory());
+    MaybeEnableAdaptive(tuple_plan.get());
+    MaybeEnableAdaptive(batch_plan.get());
     ExpectSameRows(RunPlan(tuple_plan.get()),
                    RunPlanBatched(batch_plan.get(), batch()));
   }
@@ -261,8 +286,10 @@ TEST_P(BatchEquivalenceTest, MixingNextAndNextBatchIsAllowed) {
   // The contract allows interleaving Next() and NextBatch() on one stream.
   auto table = MakeKvTable("t", TestRows());
   auto make_buffer = [&] {
-    return std::make_unique<BufferOperator>(
+    auto buffer = std::make_unique<BufferOperator>(
         std::make_unique<SeqScanOperator>(table.get(), nullptr), 100);
+    MaybeEnableAdaptive(buffer.get());
+    return buffer;
   };
   auto expected = RunPlan(make_buffer().get());
 
@@ -330,6 +357,12 @@ TEST_P(ExchangeBatchEquivalenceTest, ProjectionAcrossDegrees) {
     PlannerOptions options;
     options.parallel_degree = degree;
     options.batch_size = GetParam();
+    if (AdaptiveFromEnv()) {
+      // Adaptive CI pass: every per-worker buffer calibrates on its own
+      // thread; the result must still match the unrefined serial plan.
+      options.refine = true;
+      options.refinement.adaptive_buffering = true;
+    }
     OperatorPtr plan = MustPlan(kSql, options);
     auto actual = Canonical(RunPlanBatched(plan.get(), GetParam()));
     EXPECT_EQ(expected, actual) << "degree " << degree;
@@ -350,6 +383,10 @@ TEST_P(ExchangeBatchEquivalenceTest, JoinAggregateAcrossDegrees) {
     options.parallel_degree = degree;
     options.batch_size = GetParam();
     options.join_strategy = JoinStrategy::kHashJoin;
+    if (AdaptiveFromEnv()) {
+      options.refine = true;
+      options.refinement.adaptive_buffering = true;
+    }
     OperatorPtr plan = MustPlan(kSql, options);
     auto actual = RunPlanBatched(plan.get(), GetParam());
     ASSERT_EQ(actual.size(), 1u) << "degree " << degree;

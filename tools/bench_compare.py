@@ -43,12 +43,16 @@ import re
 import sys
 
 # Fields that identify a record rather than measure it: must be equal.
+# The adaptive-buffering outcome fields are identity on purpose: the
+# controller is deterministic on the simulator, so a changed chosen capacity
+# or demotion decision is a behavior change, not measurement noise.
 IDENTITY_FIELDS = {
     "bench", "config", "query", "comparison", "predicate", "scale_factor",
     "smoke", "hw", "rows", "sim_rows", "key_range", "batch_width",
     "batch_size", "buffer_size", "sim_buffer_size", "iters", "keep_fraction",
     "buffers_added", "groups_out", "selected", "outputs_identical", "avx2",
-    "decode_rows_out", "string_rows_out",
+    "decode_rows_out", "string_rows_out", "series", "adaptive_chosen_size",
+    "adaptive_demoted", "best_static",
 }
 
 # (regex on the dotted metric path, direction, kind)
