@@ -1,0 +1,407 @@
+// Intra-group operator fusion (DESIGN.md §15), fused vs. unfused:
+//
+//   A. fig-10-style chain: Scan(pred) -> Filter x3 -> Project over a wide
+//      synthetic table, hand-built and then collapsed with
+//      FusedPipelineOperator::TryFuse — wall-clock at batch width 1024, with
+//      the CPU simulator's i-cache counters measured alongside on a smaller
+//      table. The gated pair runs over the table's columnar image
+//      (ColumnScan source — the engine's default scan when one exists);
+//      the row-store (SeqScan source) pair is reported as an informational
+//      metric, since there fusion saves only the per-stage staging, not the
+//      decode work that dominates a packed-row pipeline either way.
+//   B. TPC-H filter-heavy sweep: selection queries planned twice through the
+//      refined engine (RunQuery), once with RefinementOptions::fuse_pipelines
+//      off and once on; results must be value-identical and the fused plans'
+//      simulated i-cache references must drop with misses no worse.
+//
+// Acceptance gates IN the bench: after emitting its JSON lines the bench
+// re-parses them and exits nonzero unless speedup_fused >= 1.3, every fused
+// run reduced sim l1i accesses, and no fused run's l1i misses exceed its
+// unfused pair. Outputs are compared (byte-for-byte for the hand-built
+// chain, value-for-value for the SQL sweep) before any timing is reported.
+//
+// Output is JSON lines only (the bench_util run header plus one record per
+// comparison), so CI can archive stdout directly as an artifact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "exec/column_scan.h"
+#include "exec/filter.h"
+#include "exec/fused_pipeline.h"
+#include "exec/project.h"
+#include "exec/seq_scan.h"
+#include "expr/expression.h"
+#include "sim/sim_cpu.h"
+#include "storage/column_table.h"
+
+namespace bufferdb {
+namespace {
+
+constexpr size_t kBenchBatch = 1024;
+
+ExprPtr Col(const Schema& schema, const std::string& name) {
+  auto r = MakeColumnRef(schema, name);
+  if (!r.ok()) {
+    std::fprintf(stderr, "column ref failed: %s\n", name.c_str());
+    std::exit(1);
+  }
+  return std::move(*r);
+}
+
+ExprPtr Bin(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto res = MakeBinary(op, std::move(l), std::move(r));
+  if (!res.ok()) {
+    std::fprintf(stderr, "expr build failed\n");
+    std::exit(1);
+  }
+  return std::move(*res);
+}
+
+// Wide table (12 numeric columns + 2 string columns) with a columnar image:
+// wide enough that each unfused stage pays a real decode while the fused
+// loop decodes its input union exactly once.
+std::unique_ptr<Table> BuildWideTable(size_t rows, uint64_t seed) {
+  Schema schema({{"k", DataType::kInt64},
+                 {"a", DataType::kDouble},
+                 {"b", DataType::kDouble},
+                 {"c", DataType::kDouble},
+                 {"d", DataType::kDouble},
+                 {"e", DataType::kInt64},
+                 {"f", DataType::kInt64},
+                 {"g", DataType::kInt64},
+                 {"h", DataType::kInt64},
+                 {"p", DataType::kDouble},
+                 {"q", DataType::kDouble},
+                 {"t", DataType::kInt64},
+                 {"s", DataType::kString},
+                 {"u", DataType::kString}});
+  const char* kVocab[] = {"shipped", "shelved", "shipping", "pending",
+                          "packed",  "held",    "returned", "refunded",
+                          "lost",    "listed"};
+  auto table = std::make_unique<Table>("wide", schema);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<Value> v;
+    v.push_back(Value::Int64(rng.Uniform(0, 1 << 20)));
+    for (int j = 0; j < 4; ++j) v.push_back(Value::Double(rng.NextDouble()));
+    for (int j = 0; j < 4; ++j) v.push_back(Value::Int64(rng.Uniform(0, 999)));
+    v.push_back(Value::Double(rng.NextDouble() * 100.0));
+    v.push_back(Value::Double(rng.NextDouble() * 10.0));
+    v.push_back(Value::Int64(rng.Uniform(-50, 50)));
+    v.push_back(Value::String(kVocab[rng.Uniform(0, 9)]));
+    v.push_back(Value::String(kVocab[rng.Uniform(0, 9)]));
+    table->AppendRow(v);
+  }
+  table->AttachColumnar(ColumnarTable::Build(*table));
+  return table;
+}
+
+// The fig-10-style chain: filter-heavy (three predicates over five columns)
+// with mostly-passing stages, so every unfused edge pays its per-stage
+// decode/compact/publish on nearly the full row stream — exactly the
+// intermediate work fusion eliminates.
+//
+//   Scan(a + b < 1.6)        ~92% pass
+//   Filter(c + d < 1.6)      ~92% pass
+//   Filter(e != 7)           ~99.9% pass
+//   Filter(p < 90)           ~90% pass
+//   Project(a * 2 + b, k + e, c - d, p + q)
+OperatorPtr BuildChain(Table* table, bool columnar) {
+  const Schema& s = table->schema();
+  ExprPtr scan_pred = Bin(BinaryOp::kLt,
+                          Bin(BinaryOp::kAdd, Col(s, "a"), Col(s, "b")),
+                          MakeLiteral(Value::Double(1.6)));
+  OperatorPtr op;
+  if (columnar) {
+    op = std::make_unique<ColumnScanOperator>(table, std::move(scan_pred));
+  } else {
+    op = std::make_unique<SeqScanOperator>(table, std::move(scan_pred));
+  }
+  op = std::make_unique<FilterOperator>(
+      std::move(op), Bin(BinaryOp::kLt,
+                         Bin(BinaryOp::kAdd, Col(s, "c"), Col(s, "d")),
+                         MakeLiteral(Value::Double(1.6))));
+  op = std::make_unique<FilterOperator>(
+      std::move(op),
+      Bin(BinaryOp::kNe, Col(s, "e"), MakeLiteral(Value::Int64(7))));
+  op = std::make_unique<FilterOperator>(
+      std::move(op),
+      Bin(BinaryOp::kLt, Col(s, "p"), MakeLiteral(Value::Double(90.0))));
+  std::vector<ProjectItem> items;
+  items.push_back({Bin(BinaryOp::kAdd,
+                       Bin(BinaryOp::kMul, Col(s, "a"),
+                           MakeLiteral(Value::Double(2.0))),
+                       Col(s, "b")),
+                   "ab"});
+  items.push_back({Bin(BinaryOp::kAdd, Col(s, "k"), Col(s, "e")), "ke"});
+  items.push_back({Bin(BinaryOp::kSub, Col(s, "c"), Col(s, "d")), "cd"});
+  items.push_back({Bin(BinaryOp::kAdd, Col(s, "p"), Col(s, "q")), "pq"});
+  return std::make_unique<ProjectOperator>(std::move(op), std::move(items));
+}
+
+OperatorPtr BuildFusedChain(Table* table, bool columnar) {
+  OperatorPtr fused =
+      FusedPipelineOperator::TryFuse(BuildChain(table, columnar),
+                                     FusedPipelineOptions());
+  if (dynamic_cast<FusedPipelineOperator*>(fused.get()) == nullptr) {
+    std::fprintf(stderr, "FAIL: bench chain did not fuse\n");
+    std::exit(1);
+  }
+  return fused;
+}
+
+// Drains `plan` through NextBatch at width 1024 (no simulator attached).
+// When `snapshot` is set, the emitted rows are copied out byte-for-byte
+// (size-prefixed row format) so fused and unfused outputs can be compared
+// after their arenas die.
+double TimedRun(const OperatorPtr& plan, size_t* rows_out,
+                std::vector<uint8_t>* snapshot) {
+  ExecContext ctx;
+  auto start = std::chrono::steady_clock::now();
+  auto rows = ExecutePlanBatched(plan.get(), &ctx, kBenchBatch);
+  auto stop = std::chrono::steady_clock::now();
+  if (!rows.ok()) {
+    std::fprintf(stderr, "exec failed: %s\n", rows.status().ToString().c_str());
+    std::exit(1);
+  }
+  *rows_out = rows->size();
+  if (snapshot != nullptr) {
+    for (const uint8_t* row : *rows) {
+      uint32_t size = 0;
+      std::memcpy(&size, row, sizeof(size));
+      snapshot->insert(snapshot->end(), row, row + size);
+    }
+  }
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+sim::SimCounters SimRun(const OperatorPtr& plan) {
+  sim::SimCpu cpu;
+  ExecContext ctx;
+  ctx.cpu = &cpu;
+  auto rows = ExecutePlanBatched(plan.get(), &ctx, kBenchBatch);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "sim exec failed: %s\n",
+                 rows.status().ToString().c_str());
+    std::exit(1);
+  }
+  return cpu.counters();
+}
+
+struct Comparison {
+  double unfused_best = 0;
+  double fused_best = 0;
+  size_t rows_out = 0;
+  double speedup() const { return unfused_best / fused_best; }
+};
+
+Comparison Compare(Table* table, bool columnar, int iters) {
+  std::vector<uint8_t> unfused_bytes;
+  std::vector<uint8_t> fused_bytes;
+  Comparison c;
+  size_t fused_rows = 0;
+  c.unfused_best =
+      TimedRun(BuildChain(table, columnar), &c.rows_out, &unfused_bytes);
+  c.fused_best =
+      TimedRun(BuildFusedChain(table, columnar), &fused_rows, &fused_bytes);
+  if (c.rows_out != fused_rows || unfused_bytes != fused_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: fused output differs from unfused "
+                 "(%zu vs %zu rows, %zu vs %zu bytes)\n",
+                 fused_rows, c.rows_out, fused_bytes.size(),
+                 unfused_bytes.size());
+    std::exit(1);
+  }
+  for (int i = 1; i < iters; ++i) {
+    size_t n = 0;
+    double u = TimedRun(BuildChain(table, columnar), &n, nullptr);
+    double f = TimedRun(BuildFusedChain(table, columnar), &n, nullptr);
+    if (u < c.unfused_best) c.unfused_best = u;
+    if (f < c.fused_best) c.fused_best = f;
+  }
+  return c;
+}
+
+// Pulls `"key": <number>` out of a JSON line the bench just emitted; the
+// acceptance thresholds are checked against the published artifact, not
+// against in-memory state that could diverge from it.
+double JsonField(const std::string& json, const char* key) {
+  std::string needle = std::string("\"") + key + "\": ";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "FAIL: field %s missing from emitted JSON\n", key);
+    std::exit(1);
+  }
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+// Gates one emitted record's i-cache pair: references reduced, misses no
+// worse than the unfused run.
+bool GateICache(const std::string& line, const char* what) {
+  bool ok = true;
+  double ua = JsonField(line, "sim_unfused_l1i_accesses");
+  double fa = JsonField(line, "sim_fused_l1i_accesses");
+  double um = JsonField(line, "sim_unfused_l1i_misses");
+  double fm = JsonField(line, "sim_fused_l1i_misses");
+  if (fa >= ua) {
+    std::fprintf(stderr,
+                 "FAIL: %s fused l1i accesses %.0f not reduced "
+                 "(unfused %.0f)\n",
+                 what, fa, ua);
+    ok = false;
+  }
+  if (fm > um) {
+    std::fprintf(stderr,
+                 "FAIL: %s fused l1i misses %.0f worse than unfused %.0f\n",
+                 what, fm, um);
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace bufferdb
+
+int main(int argc, char** argv) {
+  using namespace bufferdb;  // NOLINT
+  double sf = bench::ScaleFactorFromArgs(argc, argv);
+  bench::PrintJsonHeader("fused_pipeline", sf);
+
+  // --- A. hand-built chain, wall clock + sim counters -----------------------
+  const size_t rows = bench::SmokeMode() ? 200000 : 2000000;
+  const int iters = bench::SmokeIters(5, 3);
+  auto table = BuildWideTable(rows, /*seed=*/42);
+
+  bench::Note("fused_pipeline: %zu rows, batch %zu, %d iters\n", rows,
+              kBenchBatch, iters);
+  Comparison seq = Compare(table.get(), /*columnar=*/false, iters);
+  Comparison col = Compare(table.get(), /*columnar=*/true, iters);
+
+  // Simulated i-cache counters on a smaller table (the simulator is orders
+  // of magnitude slower than real execution).
+  auto sim_table = BuildWideTable(bench::SmokeMode() ? 20000 : 50000,
+                                  /*seed=*/42);
+  sim::SimCounters sim_unfused = SimRun(BuildChain(sim_table.get(), true));
+  sim::SimCounters sim_fused = SimRun(BuildFusedChain(sim_table.get(), true));
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"fused_pipeline\", \"config\": \"chain\", "
+      "\"rows\": %zu, \"batch_size\": %zu, \"iters\": %d, "
+      "\"outputs_identical\": true, \"rows_out\": %zu, "
+      "\"unfused_seconds\": %.6f, \"fused_seconds\": %.6f, "
+      "\"speedup_fused\": %.3f, "
+      "\"rowsource_unfused_seconds\": %.6f, "
+      "\"rowsource_fused_seconds\": %.6f, "
+      "\"speedup_fused_rowsource\": %.3f, "
+      "\"sim_unfused_instructions\": %llu, "
+      "\"sim_fused_instructions\": %llu, "
+      "\"sim_unfused_l1i_accesses\": %llu, "
+      "\"sim_fused_l1i_accesses\": %llu, "
+      "\"sim_unfused_l1i_misses\": %llu, \"sim_fused_l1i_misses\": %llu}",
+      rows, kBenchBatch, iters, col.rows_out, col.unfused_best, col.fused_best,
+      col.speedup(), seq.unfused_best, seq.fused_best, seq.speedup(),
+      static_cast<unsigned long long>(sim_unfused.instructions),
+      static_cast<unsigned long long>(sim_fused.instructions),
+      static_cast<unsigned long long>(sim_unfused.l1i_accesses),
+      static_cast<unsigned long long>(sim_fused.l1i_accesses),
+      static_cast<unsigned long long>(sim_unfused.l1i_misses),
+      static_cast<unsigned long long>(sim_fused.l1i_misses));
+  std::string chain_line(json);
+  bench::EmitJsonLine(chain_line);
+
+  // --- B. TPC-H filter-heavy sweep through the refined planner --------------
+  struct SweepQuery {
+    const char* name;
+    const char* sql;
+  };
+  const SweepQuery kSweep[] = {
+      {"sel_lineitem",
+       "SELECT l_orderkey, l_quantity FROM lineitem "
+       "WHERE l_shipdate <= DATE '1998-09-02'"},
+      {"sel_orders",
+       "SELECT o_orderkey, o_totalprice FROM orders "
+       "WHERE o_orderpriority = '1-URGENT'"},
+  };
+  Catalog& catalog = bench::SharedTpch(sf);
+  std::vector<std::string> sweep_lines;
+  for (const SweepQuery& q : kSweep) {
+    bench::RunOptions off;
+    off.refine = true;
+    off.batch_size = kBenchBatch;
+    bench::RunOptions on = off;
+    on.refinement.fuse_pipelines = true;
+    bench::QueryRun unfused = bench::RunQuery(catalog, q.sql, off);
+    bench::QueryRun fused = bench::RunQuery(catalog, q.sql, on);
+    if (unfused.rows != fused.rows) {
+      std::fprintf(stderr,
+                   "FAIL: %s fused results differ (%zu vs %zu rows)\n", q.name,
+                   fused.rows.size(), unfused.rows.size());
+      return 1;
+    }
+    bench::Note("tpch %s fused plan:\n%s", q.name, fused.plan_text.c_str());
+    const sim::SimCounters& a = unfused.breakdown.counters;
+    const sim::SimCounters& b = fused.breakdown.counters;
+    std::snprintf(
+        json, sizeof(json),
+        "{\"bench\": \"fused_pipeline\", \"config\": \"tpch_%s\", "
+        "\"batch_size\": %zu, \"outputs_identical\": true, "
+        "\"rows_out\": %zu, "
+        "\"sim_unfused_instructions\": %llu, "
+        "\"sim_fused_instructions\": %llu, "
+        "\"sim_unfused_l1i_accesses\": %llu, "
+        "\"sim_fused_l1i_accesses\": %llu, "
+        "\"sim_unfused_l1i_misses\": %llu, "
+        "\"sim_fused_l1i_misses\": %llu, "
+        "\"sim_unfused_seconds\": %.6f, \"sim_fused_seconds\": %.6f}",
+        q.name, kBenchBatch, unfused.rows.size(),
+        static_cast<unsigned long long>(a.instructions),
+        static_cast<unsigned long long>(b.instructions),
+        static_cast<unsigned long long>(a.l1i_accesses),
+        static_cast<unsigned long long>(b.l1i_accesses),
+        static_cast<unsigned long long>(a.l1i_misses),
+        static_cast<unsigned long long>(b.l1i_misses),
+        unfused.breakdown.seconds(), fused.breakdown.seconds());
+    sweep_lines.emplace_back(json);
+    bench::EmitJsonLine(sweep_lines.back());
+  }
+
+  // Acceptance gates, read back from the emitted artifact lines.
+  bool ok = true;
+  double speedup_fused = JsonField(chain_line, "speedup_fused");
+  if (speedup_fused < 1.3) {
+    std::fprintf(stderr,
+                 "FAIL: speedup_fused %.3f < 1.3 (fused vs unfused "
+                 "scan-filter-project at batch %zu)\n",
+                 speedup_fused, kBenchBatch);
+    ok = false;
+  }
+  ok = GateICache(chain_line, "chain") && ok;
+  // The refined TPC-H pairs also gate the simulated batch-path speedup: the
+  // simulator is deterministic, so a fused plan that stops being faster than
+  // its unfused twin is an engine regression, not noise.
+  for (const std::string& line : sweep_lines) {
+    double su = JsonField(line, "sim_unfused_seconds");
+    double sf_fused = JsonField(line, "sim_fused_seconds");
+    if (sf_fused * 1.3 > su) {
+      std::fprintf(stderr,
+                   "FAIL: simulated fused speedup %.3f < 1.3 (%s)\n",
+                   su / sf_fused, line.c_str());
+      ok = false;
+    }
+  }
+  for (size_t i = 0; i < sweep_lines.size(); ++i) {
+    ok = GateICache(sweep_lines[i], kSweep[i].name) && ok;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,467 @@
+#include "exec/fused_pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "exec/column_scan.h"
+#include "exec/filter.h"
+#include "exec/project.h"
+#include "exec/row_batch_decoder.h"
+#include "exec/seq_scan.h"
+#include "storage/tuple.h"
+
+namespace bufferdb {
+
+FusedPipelineOperator::FusedPipelineOperator(
+    OperatorPtr chain, ProjectOperator* project,
+    std::vector<FilterOperator*> filters_top_down, SeqScanOperator* seq,
+    ColumnScanOperator* col)
+    : chain_(std::move(chain)), project_(project) {
+  bool valid = true;
+  auto compile_ok = [&valid](std::unique_ptr<CompiledExpr> p)
+      -> std::unique_ptr<CompiledExpr> {
+    valid = valid && p != nullptr;
+    return p;
+  };
+
+  if (seq != nullptr) {
+    table_ = seq->table();
+    morsels_ = seq->morsel_cursor();
+    stage_labels_.push_back(seq->label());
+    if (seq->predicate() != nullptr) {
+      predicates_.push_back(compile_ok(
+          CompiledExpr::Compile(*seq->predicate(), table_->schema())));
+    }
+  } else {
+    table_ = col->table();
+    columnar_ = table_->columnar();
+    morsels_ = col->morsel_cursor();
+    conjuncts_ = col->zone_conjuncts();
+    stage_labels_.push_back(col->label());
+    if (col->predicate() != nullptr) {
+      predicates_.push_back(compile_ok(CompiledExpr::Compile(
+          *col->predicate(), table_->schema(), columnar_)));
+    }
+  }
+  // Filters were collected top-down; the fused chain reads bottom-up.
+  for (auto it = filters_top_down.rbegin(); it != filters_top_down.rend();
+       ++it) {
+    stage_labels_.push_back((*it)->label());
+    predicates_.push_back(compile_ok(
+        CompiledExpr::Compile((*it)->predicate(), table_->schema())));
+  }
+  if (project_ != nullptr) {
+    stage_labels_.push_back(project_->label());
+    for (const ProjectItem& item : project_->items()) {
+      project_progs_.push_back(
+          compile_ok(CompiledExpr::Compile(*item.expr, table_->schema())));
+    }
+  }
+  valid_ = valid;
+  results_.resize(project_progs_.size());
+
+  // Union of every program's input columns, decoded/aliased exactly once per
+  // batch. Dictionary-code inputs (ColumnScan string predicates) are widened
+  // separately; they never collide with a value input, because string
+  // columns only ever compile through the dictionary rewrite.
+  auto add_col = [this](int c) {
+    for (int have : decode_cols_) {
+      if (have == c) return;
+    }
+    decode_cols_.push_back(c);
+  };
+  auto add_dict_col = [this](int c) {
+    for (int have : dict_code_cols_) {
+      if (have == c) return;
+    }
+    dict_code_cols_.push_back(c);
+  };
+  for (const auto& p : predicates_) {
+    if (p == nullptr) continue;
+    const std::vector<int>& cols = p->input_columns();
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (p->input_is_dict_code(i)) {
+        add_dict_col(cols[i]);
+      } else {
+        add_col(cols[i]);
+      }
+    }
+  }
+  for (const auto& p : project_progs_) {
+    if (p == nullptr) continue;
+    for (int c : p->input_columns()) add_col(c);
+  }
+
+  // The fused working set (§15): the stages' kernel cores plus the drive
+  // loop, WITHOUT kExecCommon — the per-stage dispatch glue is exactly what
+  // the single fused loop eliminates.
+  InitHotFuncs(sim::ModuleId::kFusedPipeline);
+  AddHotFunc(columnar_ != nullptr ? sim::FuncId::kColumnScanCore
+                                  : sim::FuncId::kScanCore);
+  if (!predicates_.empty() || !project_progs_.empty()) {
+    AddHotFunc(sim::FuncId::kVectorEvalCore);
+  }
+  if (!filters_top_down.empty()) AddHotFunc(sim::FuncId::kFilterCore);
+  if (project_ != nullptr) AddHotFunc(sim::FuncId::kProjectCore);
+}
+
+OperatorPtr FusedPipelineOperator::TryFuse(OperatorPtr op,
+                                           const FusedPipelineOptions& opts) {
+  if (op == nullptr) return op;
+  size_t stages = 0;
+  Operator* cur = op.get();
+
+  ProjectOperator* project = nullptr;
+  if (auto* p = dynamic_cast<ProjectOperator*>(cur)) {
+    if (!p->all_items_compiled() || !p->vectorized_eval() ||
+        p->excluded_from_buffering()) {
+      return op;
+    }
+    project = p;
+    cur = p->child(0);
+    ++stages;
+  }
+
+  std::vector<FilterOperator*> filters;
+  while (auto* f = dynamic_cast<FilterOperator*>(cur)) {
+    if (f->compiled_predicate() == nullptr || !f->vectorized_eval() ||
+        f->excluded_from_buffering()) {
+      return op;
+    }
+    filters.push_back(f);
+    cur = f->child(0);
+    ++stages;
+  }
+
+  auto* seq = dynamic_cast<SeqScanOperator*>(cur);
+  auto* col = dynamic_cast<ColumnScanOperator*>(cur);
+  if (seq == nullptr && col == nullptr) return op;
+  if (!cur->vectorized_eval() || cur->excluded_from_buffering()) return op;
+  const Expression* scan_pred =
+      seq != nullptr ? seq->predicate() : col->predicate();
+  const CompiledExpr* scan_prog =
+      seq != nullptr ? seq->compiled_predicate() : col->compiled_predicate();
+  if (scan_pred != nullptr && scan_prog == nullptr) return op;
+  ++stages;
+
+  // A one-operator "chain" has nothing to fuse.
+  if (stages < 2) return op;
+
+  const double est = op->estimated_rows();
+  std::unique_ptr<FusedPipelineOperator> fused(new FusedPipelineOperator(
+      std::move(op), project, std::move(filters), seq, col));
+  // The execution group is the fusion unit: reject candidates whose working
+  // set would not co-reside in L1-I (and any recompilation surprise).
+  if (!fused->valid_ ||
+      fused->fused_footprint_bytes() > opts.l1i_capacity_bytes) {
+    return fused->ReleaseChain();
+  }
+  fused->set_estimated_rows(est);
+  return fused;
+}
+
+uint64_t FusedPipelineOperator::fused_footprint_bytes() const {
+  const sim::CodeLayout& layout = sim::CodeLayout::Default();
+  uint64_t total = 0;
+  for (sim::FuncId f : hot_funcs_) total += layout.info(f).size_bytes;
+  return total;
+}
+
+Status FusedPipelineOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  pos_ = 0;
+  limit_ = morsels_ != nullptr ? 0 : table_->num_rows();
+  drain_n_ = 0;
+  drain_pos_ = 0;
+  rows_in_ = 0;
+  rows_out_ = 0;
+  batches_ = 0;
+  blocks_pruned_ = 0;
+  rows_pruned_ = 0;
+  return Status::OK();
+}
+
+Status FusedPipelineOperator::Rescan() {
+  pos_ = 0;
+  limit_ = morsels_ != nullptr ? 0 : table_->num_rows();
+  drain_n_ = 0;
+  drain_pos_ = 0;
+  return Status::OK();
+}
+
+void FusedPipelineOperator::Close() {
+  pos_ = 0;
+  limit_ = 0;
+  drain_n_ = 0;
+  drain_pos_ = 0;
+}
+
+bool FusedPipelineOperator::BlockPruned(size_t block) const {
+  for (const ZoneConjunct& c : conjuncts_) {
+    const ColumnSegment& seg = columnar_->segment(static_cast<size_t>(c.col));
+    if (block >= seg.zones.size()) continue;
+    if (!BlockMayMatch(seg.zones[block], seg, c)) return true;
+  }
+  return false;
+}
+
+bool FusedPipelineOperator::ClaimRun(size_t max, size_t* run) {
+  for (;;) {
+    if (pos_ >= limit_) {
+      parallel::Morsel morsel;
+      if (morsels_ == nullptr || !morsels_->TryNext(&morsel)) return false;
+      pos_ = morsel.begin;
+      limit_ = morsel.end;
+      continue;
+    }
+    const size_t block = pos_ / kZoneBlockRows;
+    const size_t block_end = std::min(limit_, (block + 1) * kZoneBlockRows);
+    if (BlockPruned(block)) {
+      ++blocks_pruned_;
+      rows_pruned_ += block_end - pos_;
+      pos_ = block_end;
+      continue;
+    }
+    size_t run_end = block_end;
+    while (run_end < limit_ && run_end - pos_ < max) {
+      const size_t next_block = run_end / kZoneBlockRows;
+      if (BlockPruned(next_block)) break;
+      run_end = std::min(limit_, (next_block + 1) * kZoneBlockRows);
+    }
+    *run = std::min(max, run_end - pos_);
+    return true;
+  }
+}
+
+void FusedPipelineOperator::AliasColumnarInputs(size_t n) {
+  vbatch_.set_rows(n);
+  for (int col : decode_cols_) {
+    const ColumnSegment& seg = columnar_->segment(static_cast<size_t>(col));
+    ColumnVector* vec = vbatch_.Mutable(col);
+    if (seg.type == DataType::kDouble) {
+      vec->AliasF64(seg.f64.data() + pos_, seg.nulls.data() + pos_);
+      ctx_->Touch(seg.f64.data() + pos_, n * sizeof(double));
+    } else {
+      vec->AliasI64(seg.type, seg.i64.data() + pos_, seg.nulls.data() + pos_);
+      ctx_->Touch(seg.i64.data() + pos_, n * sizeof(int64_t));
+    }
+    ctx_->Touch(seg.nulls.data() + pos_, n);
+  }
+  for (int col : dict_code_cols_) {
+    // Codes are stored int32; widen into an owned int64 vector, preserving
+    // the zero-payload-under-NULL invariant (NULL rows carry code 0).
+    const ColumnSegment& seg = columnar_->segment(static_cast<size_t>(col));
+    ColumnVector* vec = vbatch_.Mutable(col);
+    vec->Reset(DataType::kInt64, n);
+    int64_t* out = vec->i64.data();
+    uint8_t* nulls = vec->nulls.data();
+    const int32_t* codes = seg.codes.data() + pos_;
+    const uint8_t* seg_nulls = seg.nulls.data() + pos_;
+    for (size_t k = 0; k < n; ++k) {
+      out[k] = codes[k];
+      nulls[k] = seg_nulls[k];
+    }
+    ctx_->Touch(codes, n * sizeof(int32_t));
+    ctx_->Touch(seg_nulls, n);
+  }
+}
+
+size_t FusedPipelineOperator::GatherSeq(size_t max) {
+  const Schema& schema = table_->schema();
+  size_t n = 0;
+  while (n < max) {
+    if (pos_ >= limit_) {
+      parallel::Morsel morsel;
+      if (morsels_ == nullptr || !morsels_->TryNext(&morsel)) break;
+      pos_ = morsel.begin;
+      limit_ = morsel.end;
+      continue;
+    }
+    while (pos_ < limit_ && n < max) {
+      // One fused module execution per input row: this single loop body
+      // stands in for the whole chain's per-stage calls.
+      ctx_->ExecModule(module_id(), hot_funcs_);
+      const uint8_t* row = table_->row(pos_++);
+      ctx_->Touch(row, TupleView(row, &schema).size_bytes());
+      in_rows_[n++] = row;
+    }
+  }
+  if (n == 0) return 0;
+  if (!decode_cols_.empty()) {
+    // LINT: allow-row-decode(leaf: gathered rows, no batch source)
+    RowBatchDecoder::Decode(in_rows_.data(), n, schema, decode_cols_,
+                            &vbatch_);
+  }
+  vbatch_.set_rows(n);
+  return n;
+}
+
+size_t FusedPipelineOperator::GatherColumnar(size_t max) {
+  size_t run = 0;
+  if (!ClaimRun(max, &run)) return 0;
+  const std::vector<const uint8_t*>& rows = table_->rows();
+  for (size_t i = 0; i < run; ++i) {
+    ctx_->ExecModule(module_id(), hot_funcs_);
+    in_rows_[i] = rows[pos_ + i];
+  }
+  AliasColumnarInputs(run);
+  pos_ += run;
+  return run;
+}
+
+size_t FusedPipelineOperator::ApplyPredicates(size_t in_n) {
+  if (predicates_.empty()) return in_n;
+  if (predicates_.size() == 1) {
+    predicates_[0]->RunFilter(vbatch_, &sel_);
+    return sel_.count;
+  }
+  // Several predicate stages fold into one live mask: each program runs
+  // column-at-a-time over the SAME decoded batch, and a lane survives only
+  // when every result is non-NULL true — identical to chaining Filters,
+  // which pass exactly the non-NULL-true rows, in any order. Kernels are
+  // total (div-by-zero -> NULL lane, never a trap), so evaluating a program
+  // over lanes an earlier predicate already rejected is safe.
+  // LINT: allow-alloc(one-time mask growth; no-op once capacity == in_n)
+  if (pass_.size() < in_n) pass_.resize(in_n);
+  std::fill(pass_.begin(), pass_.begin() + static_cast<ptrdiff_t>(in_n),
+            uint8_t{1});
+  for (const auto& p : predicates_) {
+    const ColumnVector& r = p->Run(vbatch_);
+    const int64_t* v = r.i64_data();
+    const uint8_t* nulls = r.null_data();
+    for (size_t i = 0; i < in_n; ++i) {
+      pass_[i] = static_cast<uint8_t>(pass_[i] & static_cast<uint8_t>(nulls[i] == 0) &
+                                      static_cast<uint8_t>(v[i] != 0));
+    }
+  }
+  // LINT: allow-alloc(one-time selection growth; no-op once sized)
+  if (sel_.idx.size() < in_n) sel_.idx.resize(in_n);
+  size_t count = 0;
+  for (size_t i = 0; i < in_n; ++i) {
+    // Branch-free survivor store: the cursor advances by 0 or 1.
+    sel_.idx[count] = static_cast<uint32_t>(i);
+    count += pass_[i];
+  }
+  sel_.count = count;
+  return count;
+}
+
+void FusedPipelineOperator::MaterializeProjection(const uint8_t** out,
+                                                  size_t n, bool has_sel) {
+  // Projection programs run over ALL lanes of the shared batch (kernels are
+  // branch-free and total), then only the selected lanes materialize — the
+  // one materialization of the whole chain, at its output boundary. Same
+  // row format as ProjectOperator's vectorized path: all output types are
+  // non-string, so every row is exactly fixed_bytes.
+  for (size_t c = 0; c < project_progs_.size(); ++c) {
+    results_[c] = &project_progs_[c]->Run(vbatch_);
+  }
+  const Schema& schema = output_schema();
+  const size_t row_bytes = schema.fixed_bytes();
+  uint8_t* block = ctx_->arena.Allocate(n * row_bytes);
+  const uint32_t total = static_cast<uint32_t>(row_bytes);
+  for (size_t k = 0; k < n; ++k) {
+    const size_t lane = has_sel ? sel_.idx[k] : k;
+    uint8_t* row = block + k * row_bytes;
+    std::memcpy(row, &total, 4);
+    std::memset(row + 4, 0, 4);
+    uint64_t bitmap = 0;
+    uint8_t* slot = row + Schema::kHeaderBytes;
+    for (size_t c = 0; c < results_.size(); ++c, slot += 8) {
+      const ColumnVector& v = *results_[c];
+      if (v.null_data()[lane] != 0) {
+        bitmap |= uint64_t{1} << c;
+        std::memset(slot, 0, 8);  // Same normalization as TupleBuilder.
+      } else if (v.is_double()) {
+        std::memcpy(slot, &v.f64_data()[lane], 8);
+      } else {
+        std::memcpy(slot, &v.i64_data()[lane], 8);
+      }
+    }
+    std::memcpy(row + 8, &bitmap, 8);
+    ctx_->Touch(row, row_bytes);
+    out[k] = row;
+  }
+}
+
+size_t FusedPipelineOperator::NextBatch(const uint8_t** out, size_t max) {
+  // Rows prefetched for Next() drain first, so mixing the two interfaces
+  // never skips or duplicates rows.
+  if (drain_pos_ < drain_n_) {
+    const size_t k = std::min(max, drain_n_ - drain_pos_);
+    for (size_t i = 0; i < k; ++i) out[i] = drain_[drain_pos_ + i];
+    drain_pos_ += k;
+    return k;
+  }
+  // LINT: allow-alloc(one-time staging growth; no-op once capacity == max)
+  if (in_rows_.size() < max) in_rows_.resize(max);
+  for (;;) {
+    const size_t in_n =
+        columnar_ != nullptr ? GatherColumnar(max) : GatherSeq(max);
+    if (in_n == 0) {
+      ctx_->ExecModule(module_id(), hot_funcs_);  // End-of-stream.
+      return 0;
+    }
+    ++batches_;
+    rows_in_ += in_n;
+    const size_t n = ApplyPredicates(in_n);
+    if (n == 0) continue;  // Whole batch filtered out; pull the next one.
+    if (project_progs_.empty()) {
+      if (predicates_.empty()) {
+        for (size_t k = 0; k < n; ++k) out[k] = in_rows_[k];
+      } else {
+        for (size_t k = 0; k < n; ++k) out[k] = in_rows_[sel_.idx[k]];
+      }
+    } else {
+      MaterializeProjection(out, n, /*has_sel=*/!predicates_.empty());
+    }
+    rows_out_ += n;
+    return n;
+  }
+}
+
+const uint8_t* FusedPipelineOperator::Next() {
+  if (drain_pos_ >= drain_n_) {
+    // LINT: allow-alloc(one-time drain staging; no-op once sized)
+    if (drain_.size() < kDefaultBatchSize) drain_.resize(kDefaultBatchSize);
+    drain_n_ = NextBatch(drain_.data(), kDefaultBatchSize);
+    drain_pos_ = 0;
+    if (drain_n_ == 0) return nullptr;
+  }
+  return drain_[drain_pos_++];
+}
+
+const Schema& FusedPipelineOperator::output_schema() const {
+  return project_ != nullptr ? project_->output_schema() : table_->schema();
+}
+
+std::string FusedPipelineOperator::label() const {
+  std::string out = "FusedPipeline(";
+  for (size_t i = 0; i < stage_labels_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += stage_labels_[i];
+  }
+  out += ")";
+  return out;
+}
+
+std::string FusedPipelineOperator::AnalyzeDetail() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "fused %zu stages: batches=%llu rows_in=%llu rows_out=%llu",
+                stage_labels_.size(),
+                static_cast<unsigned long long>(batches_),
+                static_cast<unsigned long long>(rows_in_),
+                static_cast<unsigned long long>(rows_out_));
+  std::string out(buf);
+  if (columnar_ != nullptr && !conjuncts_.empty()) {
+    std::snprintf(buf, sizeof(buf), " blocks_pruned=%llu rows_pruned=%llu",
+                  static_cast<unsigned long long>(blocks_pruned_),
+                  static_cast<unsigned long long>(rows_pruned_));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace bufferdb

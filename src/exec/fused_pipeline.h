@@ -1,0 +1,179 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/vector.h"
+#include "expr/vector_eval.h"
+#include "parallel/morsel.h"
+#include "storage/column_table.h"
+#include "storage/table.h"
+
+namespace bufferdb {
+
+class ColumnScanOperator;
+class FilterOperator;
+class ProjectOperator;
+class SeqScanOperator;
+
+/// Knobs for FusedPipelineOperator::TryFuse (set by the plan refiner from
+/// its RefinementOptions).
+struct FusedPipelineOptions {
+  /// A chain is only fused when the fused working set fits the instruction
+  /// cache — the execution group is the fusion unit (DESIGN.md §15): the
+  /// refiner has already proven a group's code co-resides in L1-I, and the
+  /// fused set (stage kernel cores minus per-stage dispatch glue) is never
+  /// larger than the unfused union, so any chain that formed one group
+  /// also fuses.
+  uint64_t l1i_capacity_bytes = 16 * 1024;
+};
+
+/// One compiled pipeline kernel replacing a maximal fusible operator chain
+/// inside an execution group (DESIGN.md §15):
+///
+///   SeqScan/ColumnScan -> Filter* -> [Project]
+///
+/// The chain collapses into a single NextBatch loop: rows are gathered once
+/// from the table (morsel-aware, zone-map-pruned for columnar sources), the
+/// union of every stage's input columns is decoded (or segment-aliased) once
+/// into one shared VectorBatch, all predicate programs fold into one live
+/// selection mask, and the projection programs materialize survivors
+/// straight into the arena. Between the fused stages there are no virtual
+/// calls, no per-stage batch staging arrays, and no re-decoded or compacted
+/// intermediate vectors — the row batch is materialized exactly once, at the
+/// chain's output boundary.
+///
+/// Fusion happens at refinement time (PlanRefiner with
+/// RefinementOptions::fuse_pipelines): TryFuse inspects a subtree, and when
+/// its top is a fusible chain whose expressions all compiled to kernel
+/// programs, replaces it with a FusedPipelineOperator. The original chain is
+/// retained (unopened) only for schema/label lifetime; execution never
+/// touches it — ENG010 enforces that the fused hot loops call neither
+/// Evaluate nor any fused child's NextBatch.
+///
+/// Simulator accounting: the operator reports one
+/// ExecModule(kFusedPipeline, ...) per input row, over the union of its
+/// stages' kernel cores plus kFusedPipelineCore, minus kExecCommon — the
+/// per-stage dispatch glue fusion eliminates. That keeps the refiner's
+/// footprint math (§6.1) honest: a fused chain's working set is the same
+/// functions a group of the unfused stages would co-locate, minus the glue.
+class FusedPipelineOperator final : public Operator {
+ public:
+  /// Attempts to collapse the maximal fusible chain rooted at `op`. Returns
+  /// the fused operator on success, or `op` unchanged when the subtree's
+  /// top is not a fusible chain (wrong operator kinds, an uncompiled
+  /// expression, vectorized evaluation disabled, an excluded operator,
+  /// fewer than two stages, or a fused working set exceeding
+  /// `opts.l1i_capacity_bytes`).
+  static OperatorPtr TryFuse(OperatorPtr op, const FusedPipelineOptions& opts);
+
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  const uint8_t* Next() override;
+  void Close() override;
+  [[nodiscard]] Status Rescan() override;
+  size_t NextBatch(const uint8_t** out, size_t max) override;
+
+  const Schema& output_schema() const override;
+  sim::ModuleId module_id() const override {
+    return sim::ModuleId::kFusedPipeline;
+  }
+  std::string label() const override;
+  std::string AnalyzeDetail() const override;
+
+  /// The fused stage labels, bottom-up (scan first). plan_printer renders
+  /// them as an indented chain under the operator's line.
+  const std::vector<std::string>& stage_labels() const {
+    return stage_labels_;
+  }
+
+  /// Number of collapsed stages (test hook).
+  size_t num_stages() const { return stage_labels_.size(); }
+
+  /// Total synthetic bytes of the fused working set — what the refiner's
+  /// group accounting sees via hot_funcs() (test hook).
+  uint64_t fused_footprint_bytes() const;
+
+  /// Zone-map statistics for the current execution (columnar sources only;
+  /// test hook).
+  uint64_t blocks_pruned() const { return blocks_pruned_; }
+
+ private:
+  FusedPipelineOperator(OperatorPtr chain, ProjectOperator* project,
+                        std::vector<FilterOperator*> filters_top_down,
+                        SeqScanOperator* seq, ColumnScanOperator* col);
+
+  /// Hands the original chain back (used when the footprint gate rejects an
+  /// already-built candidate).
+  OperatorPtr ReleaseChain() { return std::move(chain_); }
+
+  /// Gathers up to `max` input rows: row pointers into in_rows_, per-row
+  /// module accounting, and the shared VectorBatch filled (row-decoded for
+  /// a SeqScan source, segment-aliased for a ColumnScan source). Returns
+  /// the gathered count; 0 means end of stream.
+  size_t GatherSeq(size_t max);
+  size_t GatherColumnar(size_t max);
+
+  /// ColumnScan-source run claiming with zone-map pruning; mirrors
+  /// ColumnScanOperator::ClaimRun.
+  bool ClaimRun(size_t max, size_t* run);
+  bool BlockPruned(size_t block) const;
+
+  /// Points vbatch_ at segment storage for rows [pos_, pos_ + n), widening
+  /// dictionary codes for the scan predicate's flagged inputs.
+  void AliasColumnarInputs(size_t n);
+
+  /// Runs every predicate program over the current batch and fills sel_
+  /// with the lanes that are non-NULL true under ALL of them. Returns the
+  /// survivor count.
+  size_t ApplyPredicates(size_t in_n);
+
+  /// Materializes projection results for the `n` selected lanes into one
+  /// arena block, writing row pointers to `out` (same row format as
+  /// ProjectOperator's vectorized path).
+  void MaterializeProjection(const uint8_t** out, size_t n, bool has_sel);
+
+  // False when any stage expression unexpectedly failed to recompile;
+  // TryFuse then rejects the candidate and hands the chain back.
+  bool valid_ = true;
+
+  // The original (never-opened) chain: keeps schemas, labels and the
+  // operators' expressions alive for the fused operator's lifetime.
+  OperatorPtr chain_;
+  ProjectOperator* project_ = nullptr;  // Into chain_; null when no Project.
+
+  const Table* table_ = nullptr;
+  const ColumnarTable* columnar_ = nullptr;  // Null for SeqScan sources.
+  parallel::MorselCursor* morsels_ = nullptr;
+  std::vector<ZoneConjunct> conjuncts_;  // Columnar sources only.
+
+  // Freshly compiled kernel programs (chain order, scan predicate first).
+  std::vector<std::unique_ptr<CompiledExpr>> predicates_;
+  std::vector<std::unique_ptr<CompiledExpr>> project_progs_;
+  std::vector<int> decode_cols_;     // Union of value input columns.
+  std::vector<int> dict_code_cols_;  // Scan-predicate dictionary-code cols.
+
+  std::vector<std::string> stage_labels_;
+
+  std::vector<const uint8_t*> in_rows_;  // Gather scratch.
+  VectorBatch vbatch_;                   // One shared decode per batch.
+  std::vector<uint8_t> pass_;            // Combined predicate mask.
+  SelectionVector sel_;
+  std::vector<const ColumnVector*> results_;  // Project program outputs.
+
+  std::vector<const uint8_t*> drain_;  // Next() staging over NextBatch().
+  size_t drain_n_ = 0;
+  size_t drain_pos_ = 0;
+
+  size_t pos_ = 0;
+  size_t limit_ = 0;  // End of the current morsel (or of the table).
+
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t blocks_pruned_ = 0;
+  uint64_t rows_pruned_ = 0;
+};
+
+}  // namespace bufferdb

@@ -1,0 +1,515 @@
+// Fused-pipeline equivalence suite (DESIGN.md §15): fusing a
+// Scan -> Filter* -> [Project] chain into one FusedPipelineOperator must be
+// invisible in results. Covers
+//   1. hand-built chains (seq and columnar sources, multi-filter stacks,
+//      empty results, NULL lanes, dictionary-coded string predicates) fused
+//      via TryFuse, contract-checked, across batch widths 1/7/256/1024 and
+//      both drain interfaces,
+//   2. the TryFuse structural rules: non-chains and single operators stay
+//      unfused, the L1-I footprint gate hands the chain back intact, the
+//      fused working set excludes the per-stage dispatch glue,
+//   3. planner integration: RefinementOptions::fuse_pipelines off keeps
+//      plans bit-identical (no FusedPipeline node, same printed plan); on,
+//      results match the unfused reference across Exchange degrees 1/2/8,
+//      composed with adaptive buffering (BUFFERDB_ADAPTIVE_BUFFERING-style
+//      runtime controllers).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/plan_refiner.h"
+#include "exec/column_scan.h"
+#include "exec/filter.h"
+#include "exec/fused_pipeline.h"
+#include "exec/project.h"
+#include "exec/seq_scan.h"
+#include "plan/physical_planner.h"
+#include "plan/plan_printer.h"
+#include "sim/code_layout.h"
+#include "sql/binder.h"
+#include "storage/column_table.h"
+#include "test_util.h"
+#include "tpch/tpch_gen.h"
+
+namespace bufferdb {
+namespace {
+
+using testutil::Bin;
+using testutil::Canonical;
+using testutil::Col;
+using testutil::ContractChecked;
+using testutil::Lit;
+using testutil::RunPlan;
+
+std::vector<std::vector<Value>> RunPlanBatched(Operator* root, size_t batch) {
+  ExecContext ctx;
+  auto rows = ExecutePlanBatched(root, &ctx, batch);
+  EXPECT_TRUE(rows.ok()) << rows.status();
+  if (!rows.ok()) return {};
+  std::vector<std::vector<Value>> out;
+  const Schema& schema = root->output_schema();
+  for (const uint8_t* row : *rows) {
+    TupleView view(row, &schema);
+    std::vector<Value> values;
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      values.push_back(view.GetValue(c));
+    }
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+// (k INT64, v DOUBLE, s STRING) table with periodic NULLs in every column;
+// columnar image optional. 997 rows by default so no width under test
+// divides the input evenly.
+std::unique_ptr<Table> MakeTestTable(size_t n, bool columnar) {
+  Schema schema({{"k", DataType::kInt64},
+                 {"v", DataType::kDouble},
+                 {"s", DataType::kString}});
+  auto table = std::make_unique<Table>("ft", schema);
+  const char* kVocab[] = {"alpha", "beta", "gamma", "delta", "omega"};
+  for (size_t i = 0; i < n; ++i) {
+    Value k = (i % 11 == 3) ? Value::Null(DataType::kInt64)
+                            : Value::Int64(static_cast<int64_t>(i % 500));
+    Value v = (i % 13 == 5)
+                  ? Value::Null(DataType::kDouble)
+                  : Value::Double(static_cast<double>(i % 1000) / 4.0);
+    Value s = (i % 17 == 7) ? Value::Null(DataType::kString)
+                            : Value::String(kVocab[(i * 7) % 5]);
+    table->AppendRow({k, v, s});
+  }
+  if (columnar) table->AttachColumnar(ColumnarTable::Build(*table));
+  return table;
+}
+
+std::vector<ProjectItem> KvProjection(const Schema& s) {
+  std::vector<ProjectItem> items;
+  items.push_back(ProjectItem{
+      Bin(BinaryOp::kMul, Col(s, "v"), Lit(Value::Double(2.0))), "v2"});
+  items.push_back(ProjectItem{Col(s, "k"), "k"});
+  items.push_back(ProjectItem{
+      Bin(BinaryOp::kAdd, Col(s, "k"), Lit(Value::Int64(1000))), "k2"});
+  return items;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Hand-built chains: fused output == unfused output, both interfaces.
+// ---------------------------------------------------------------------------
+
+class FusedEquivalenceTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  size_t batch() const { return GetParam(); }
+
+  // Builds the chain twice via `factory`; the second copy must actually
+  // fuse. Compares the unfused tuple-at-a-time output against the fused
+  // operator drained through both interfaces, all contract-checked.
+  template <typename Factory>
+  void CheckFusedEquivalent(Factory factory, size_t expect_stages) {
+    OperatorPtr reference = ContractChecked(factory());
+    auto expected = RunPlan(reference.get());
+
+    OperatorPtr fused =
+        FusedPipelineOperator::TryFuse(factory(), FusedPipelineOptions());
+    auto* hook = dynamic_cast<FusedPipelineOperator*>(fused.get());
+    ASSERT_NE(hook, nullptr) << "chain did not fuse";
+    EXPECT_EQ(hook->num_stages(), expect_stages);
+    OperatorPtr checked = ContractChecked(std::move(fused));
+    auto batched = RunPlanBatched(checked.get(), batch());
+    ASSERT_EQ(expected.size(), batched.size());
+    EXPECT_EQ(Canonical(expected), Canonical(batched));
+
+    OperatorPtr fused_tuple =
+        ContractChecked(FusedPipelineOperator::TryFuse(factory(),
+                                                       FusedPipelineOptions()));
+    EXPECT_EQ(Canonical(expected), Canonical(RunPlan(fused_tuple.get())));
+  }
+};
+
+TEST_P(FusedEquivalenceTest, SeqScanPredicateProject) {
+  auto table = MakeTestTable(997, /*columnar=*/false);
+  const Schema& s = table->schema();
+  CheckFusedEquivalent(
+      [&]() -> OperatorPtr {
+        return std::make_unique<ProjectOperator>(
+            std::make_unique<SeqScanOperator>(
+                table.get(),
+                Bin(BinaryOp::kLt, Col(s, "v"), Lit(Value::Double(120.0)))),
+            KvProjection(s));
+      },
+      /*expect_stages=*/2);
+}
+
+TEST_P(FusedEquivalenceTest, SeqScanFilterProject) {
+  auto table = MakeTestTable(997, /*columnar=*/false);
+  const Schema& s = table->schema();
+  CheckFusedEquivalent(
+      [&]() -> OperatorPtr {
+        return std::make_unique<ProjectOperator>(
+            std::make_unique<FilterOperator>(
+                std::make_unique<SeqScanOperator>(table.get(), nullptr),
+                Bin(BinaryOp::kGe, Col(s, "k"), Lit(Value::Int64(9)))),
+            KvProjection(s));
+      },
+      /*expect_stages=*/3);
+}
+
+TEST_P(FusedEquivalenceTest, MultiFilterStack) {
+  auto table = MakeTestTable(997, /*columnar=*/false);
+  const Schema& s = table->schema();
+  CheckFusedEquivalent(
+      [&]() -> OperatorPtr {
+        OperatorPtr plan = std::make_unique<SeqScanOperator>(
+            table.get(),
+            Bin(BinaryOp::kGe, Col(s, "k"), Lit(Value::Int64(3))));
+        plan = std::make_unique<FilterOperator>(
+            std::move(plan),
+            Bin(BinaryOp::kLt, Col(s, "v"), Lit(Value::Double(200.0))));
+        plan = std::make_unique<FilterOperator>(
+            std::move(plan),
+            Bin(BinaryOp::kNe, Col(s, "k"), Lit(Value::Int64(100))));
+        return std::make_unique<ProjectOperator>(std::move(plan),
+                                                 KvProjection(s));
+      },
+      /*expect_stages=*/4);
+}
+
+TEST_P(FusedEquivalenceTest, FilterOnlyNoProject) {
+  auto table = MakeTestTable(997, /*columnar=*/false);
+  const Schema& s = table->schema();
+  CheckFusedEquivalent(
+      [&]() -> OperatorPtr {
+        return std::make_unique<FilterOperator>(
+            std::make_unique<SeqScanOperator>(table.get(), nullptr),
+            Bin(BinaryOp::kLt, Col(s, "k"), Lit(Value::Int64(50))));
+      },
+      /*expect_stages=*/2);
+}
+
+TEST_P(FusedEquivalenceTest, EverythingFilteredOut) {
+  auto table = MakeTestTable(997, /*columnar=*/false);
+  const Schema& s = table->schema();
+  CheckFusedEquivalent(
+      [&]() -> OperatorPtr {
+        return std::make_unique<ProjectOperator>(
+            std::make_unique<FilterOperator>(
+                std::make_unique<SeqScanOperator>(table.get(), nullptr),
+                Bin(BinaryOp::kLt, Col(s, "k"), Lit(Value::Int64(-1)))),
+            KvProjection(s));
+      },
+      /*expect_stages=*/3);
+}
+
+TEST_P(FusedEquivalenceTest, ColumnarSourceWithStringPredicate) {
+  // The scan predicate mixes a dictionary-coded string equality with a
+  // numeric range, so the fused gather must widen codes AND alias value
+  // segments; zone conjuncts carry over (counter checked below).
+  auto table = MakeTestTable(997, /*columnar=*/true);
+  const Schema& s = table->schema();
+  CheckFusedEquivalent(
+      [&]() -> OperatorPtr {
+        return std::make_unique<ProjectOperator>(
+            std::make_unique<FilterOperator>(
+                std::make_unique<ColumnScanOperator>(
+                    table.get(),
+                    Bin(BinaryOp::kAnd,
+                        Bin(BinaryOp::kEq, Col(s, "s"),
+                            Lit(Value::String("alpha"))),
+                        Bin(BinaryOp::kLt, Col(s, "k"),
+                            Lit(Value::Int64(400))))),
+                Bin(BinaryOp::kGe, Col(s, "v"), Lit(Value::Double(10.0)))),
+            KvProjection(s));
+      },
+      /*expect_stages=*/3);
+}
+
+TEST_P(FusedEquivalenceTest, MixedNextAndNextBatchDrain) {
+  auto table = MakeTestTable(997, /*columnar=*/false);
+  const Schema& s = table->schema();
+  auto factory = [&]() -> OperatorPtr {
+    return std::make_unique<ProjectOperator>(
+        std::make_unique<SeqScanOperator>(
+            table.get(),
+            Bin(BinaryOp::kGe, Col(s, "k"), Lit(Value::Int64(5)))),
+        KvProjection(s));
+  };
+  auto expected = Canonical(RunPlan(ContractChecked(factory()).get()));
+
+  OperatorPtr fused =
+      FusedPipelineOperator::TryFuse(factory(), FusedPipelineOptions());
+  ASSERT_NE(dynamic_cast<FusedPipelineOperator*>(fused.get()), nullptr);
+  ExecContext ctx;
+  ASSERT_TRUE(fused->Open(&ctx).ok());
+  std::vector<std::vector<Value>> rows;
+  const Schema& out_schema = fused->output_schema();
+  std::vector<const uint8_t*> slice(batch());
+  auto box = [&](const uint8_t* row) {
+    TupleView view(row, &out_schema);
+    std::vector<Value> values;
+    for (size_t c = 0; c < out_schema.num_columns(); ++c) {
+      values.push_back(view.GetValue(c));
+    }
+    rows.push_back(std::move(values));
+  };
+  for (;;) {
+    const uint8_t* row = fused->Next();
+    if (row == nullptr) break;
+    box(row);
+    size_t n = fused->NextBatch(slice.data(), batch());
+    for (size_t i = 0; i < n; ++i) box(slice[i]);
+    if (n == 0) break;
+  }
+  fused->Close();
+  EXPECT_EQ(expected, Canonical(rows));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FusedEquivalenceTest,
+                         ::testing::Values(1, 7, 256, 1024));
+
+// ---------------------------------------------------------------------------
+// 2. TryFuse structural rules.
+// ---------------------------------------------------------------------------
+
+TEST(FusedPipelineStructureTest, SingleOperatorStaysUnfused) {
+  auto table = MakeTestTable(100, /*columnar=*/false);
+  const Schema& s = table->schema();
+  OperatorPtr scan = std::make_unique<SeqScanOperator>(
+      table.get(), Bin(BinaryOp::kLt, Col(s, "k"), Lit(Value::Int64(10))));
+  Operator* raw = scan.get();
+  OperatorPtr out =
+      FusedPipelineOperator::TryFuse(std::move(scan), FusedPipelineOptions());
+  EXPECT_EQ(out.get(), raw);  // Same object handed back, not a copy.
+}
+
+TEST(FusedPipelineStructureTest, UncompilablePredicateStaysUnfused) {
+  // String LIKE on a row store never compiles to a kernel program, so the
+  // chain must be refused and handed back untouched.
+  auto table = MakeTestTable(100, /*columnar=*/false);
+  OperatorPtr filtered = std::make_unique<FilterOperator>(
+      std::make_unique<SeqScanOperator>(table.get(), nullptr),
+      Bin(BinaryOp::kLike, Col(table->schema(), "s"),
+          Lit(Value::String("al%"))));
+  Operator* raw = filtered.get();
+  OperatorPtr out = FusedPipelineOperator::TryFuse(std::move(filtered),
+                                                   FusedPipelineOptions());
+  EXPECT_EQ(out.get(), raw);
+}
+
+TEST(FusedPipelineStructureTest, FootprintGateHandsChainBack) {
+  auto table = MakeTestTable(100, /*columnar=*/false);
+  const Schema& s = table->schema();
+  auto make_chain = [&]() -> OperatorPtr {
+    return std::make_unique<ProjectOperator>(
+        std::make_unique<SeqScanOperator>(
+            table.get(),
+            Bin(BinaryOp::kLt, Col(s, "v"), Lit(Value::Double(50.0)))),
+        KvProjection(s));
+  };
+  FusedPipelineOptions tiny;
+  tiny.l1i_capacity_bytes = 64;  // Nothing fits.
+  OperatorPtr out = FusedPipelineOperator::TryFuse(make_chain(), tiny);
+  EXPECT_EQ(dynamic_cast<FusedPipelineOperator*>(out.get()), nullptr);
+  EXPECT_NE(dynamic_cast<ProjectOperator*>(out.get()), nullptr);
+  // The handed-back chain still executes.
+  auto expected = RunPlan(make_chain().get());
+  EXPECT_EQ(Canonical(expected), Canonical(RunPlan(out.get())));
+}
+
+TEST(FusedPipelineStructureTest, FusedWorkingSetExcludesDispatchGlue) {
+  auto table = MakeTestTable(100, /*columnar=*/false);
+  const Schema& s = table->schema();
+  OperatorPtr fused = FusedPipelineOperator::TryFuse(
+      std::make_unique<ProjectOperator>(
+          std::make_unique<FilterOperator>(
+              std::make_unique<SeqScanOperator>(table.get(), nullptr),
+              Bin(BinaryOp::kGe, Col(s, "k"), Lit(Value::Int64(0)))),
+          KvProjection(s)),
+      FusedPipelineOptions());
+  auto* hook = dynamic_cast<FusedPipelineOperator*>(fused.get());
+  ASSERT_NE(hook, nullptr);
+  for (sim::FuncId f : hook->hot_funcs()) {
+    EXPECT_NE(f, sim::FuncId::kExecCommon)
+        << "fused working set must not charge the per-stage dispatch glue";
+  }
+  // Union of drive loop + scan/filter/project kernels + vector-eval core.
+  const sim::CodeLayout& layout = sim::CodeLayout::Default();
+  uint64_t expect = layout.info(sim::FuncId::kFusedPipelineCore).size_bytes +
+                    layout.info(sim::FuncId::kScanCore).size_bytes +
+                    layout.info(sim::FuncId::kVectorEvalCore).size_bytes +
+                    layout.info(sim::FuncId::kFilterCore).size_bytes +
+                    layout.info(sim::FuncId::kProjectCore).size_bytes;
+  EXPECT_EQ(hook->fused_footprint_bytes(), expect);
+}
+
+TEST(FusedPipelineStructureTest, ZoneMapPruningCarriesOver) {
+  // Ascending k over 3 full blocks: k < kZoneBlockRows prunes 2 blocks in
+  // ColumnScan, and the fused chain must keep that skip.
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}});
+  auto table = std::make_unique<Table>("zm", schema);
+  for (size_t i = 0; i < 3 * kZoneBlockRows; ++i) {
+    table->AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                      Value::Double(static_cast<double>(i % 90))});
+  }
+  table->AttachColumnar(ColumnarTable::Build(*table));
+  const Schema& s = table->schema();
+  auto make_chain = [&]() -> OperatorPtr {
+    return std::make_unique<ProjectOperator>(
+        std::make_unique<ColumnScanOperator>(
+            table.get(),
+            Bin(BinaryOp::kLt, Col(s, "k"),
+                Lit(Value::Int64(static_cast<int64_t>(kZoneBlockRows))))),
+        KvProjection(s));
+  };
+  auto expected = RunPlan(make_chain().get());
+  OperatorPtr fused =
+      FusedPipelineOperator::TryFuse(make_chain(), FusedPipelineOptions());
+  auto* hook = dynamic_cast<FusedPipelineOperator*>(fused.get());
+  ASSERT_NE(hook, nullptr);
+  auto actual = RunPlanBatched(fused.get(), 1024);
+  EXPECT_EQ(Canonical(expected), Canonical(actual));
+  EXPECT_GE(hook->blocks_pruned(), 2u);
+}
+
+TEST(FusedPipelineStructureTest, PrinterRendersStageChain) {
+  auto table = MakeTestTable(100, /*columnar=*/false);
+  const Schema& s = table->schema();
+  OperatorPtr fused = FusedPipelineOperator::TryFuse(
+      std::make_unique<ProjectOperator>(
+          std::make_unique<FilterOperator>(
+              std::make_unique<SeqScanOperator>(table.get(), nullptr),
+              Bin(BinaryOp::kGe, Col(s, "k"), Lit(Value::Int64(0)))),
+          KvProjection(s)),
+      FusedPipelineOptions());
+  ASSERT_NE(dynamic_cast<FusedPipelineOperator*>(fused.get()), nullptr);
+  std::string printed = PrintPlan(*fused);
+  EXPECT_NE(printed.find("FusedPipeline"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("* Project"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("* Filter"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("* Scan(ft)"), std::string::npos) << printed;
+}
+
+// ---------------------------------------------------------------------------
+// 3. Planner integration: the knob is invisible in results, off means no
+//    fusion at all.
+// ---------------------------------------------------------------------------
+
+class FusedPlanTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(config, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  OperatorPtr MustPlan(const std::string& sql, PlannerOptions options) {
+    sql::Binder binder(catalog_);
+    auto q = binder.BindSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    PhysicalPlanner planner(catalog_, options);
+    auto plan = planner.CreatePlan(*q);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return std::move(*plan);
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* FusedPlanTest::catalog_ = nullptr;
+
+TEST_P(FusedPlanTest, KnobOffPlansAreIdentical) {
+  const char kSql[] =
+      "SELECT l_orderkey, l_quantity FROM lineitem "
+      "WHERE l_shipdate <= DATE '1998-09-02'";
+  PlannerOptions base;
+  base.refine = true;
+  base.batch_size = GetParam();
+  OperatorPtr plain = MustPlan(kSql, base);  // fuse_pipelines defaults off.
+  PlannerOptions off = base;
+  off.refinement.fuse_pipelines = false;
+  OperatorPtr knob_off = MustPlan(kSql, off);
+  EXPECT_EQ(PrintPlan(*plain, true), PrintPlan(*knob_off, true));
+  EXPECT_EQ(PrintPlan(*knob_off).find("FusedPipeline"), std::string::npos);
+}
+
+TEST_P(FusedPlanTest, KnobOnMatchesReferenceAcrossDegrees) {
+  const char* kQueries[] = {
+      "SELECT l_orderkey, l_quantity FROM lineitem "
+      "WHERE l_shipdate <= DATE '1998-09-02'",
+      "SELECT o_orderkey, o_totalprice FROM orders "
+      "WHERE o_orderpriority = '1-URGENT'",
+      "SELECT SUM(o_totalprice), COUNT(*) FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02'",
+  };
+  for (const char* sql : kQueries) {
+    PlannerOptions reference;
+    reference.batch_size = GetParam();
+    OperatorPtr serial = MustPlan(sql, reference);
+    auto expected = Canonical(RunPlanBatched(serial.get(), GetParam()));
+    for (size_t degree : {1u, 2u, 8u}) {
+      PlannerOptions on;
+      on.parallel_degree = degree;
+      on.batch_size = GetParam();
+      on.refine = true;
+      on.refinement.fuse_pipelines = true;
+      OperatorPtr plan = MustPlan(sql, on);
+      auto actual = Canonical(RunPlanBatched(plan.get(), GetParam()));
+      EXPECT_EQ(expected, actual) << "degree " << degree << " sql: " << sql;
+    }
+  }
+}
+
+TEST_P(FusedPlanTest, KnobOnActuallyFusesScanProjection) {
+  // A pure scan-filter-project query must contain a fused node when the
+  // knob is on (batched plans compile their expressions).
+  if (GetParam() < 2) return;  // Tuple plans keep per-stage operators.
+  const char kSql[] =
+      "SELECT l_orderkey, l_quantity FROM lineitem "
+      "WHERE l_shipdate <= DATE '1998-09-02'";
+  PlannerOptions on;
+  on.batch_size = GetParam();
+  on.refine = true;
+  on.refinement.fuse_pipelines = true;
+  OperatorPtr plan = MustPlan(kSql, on);
+  EXPECT_NE(PrintPlan(*plan).find("FusedPipeline"), std::string::npos)
+      << PrintPlan(*plan);
+}
+
+TEST_P(FusedPlanTest, ComposesWithAdaptiveBuffering) {
+  const char kSql[] =
+      "SELECT SUM(o_totalprice), COUNT(*) FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02'";
+  PlannerOptions reference;
+  reference.batch_size = GetParam();
+  OperatorPtr serial = MustPlan(kSql, reference);
+  auto expected = RunPlanBatched(serial.get(), GetParam());
+  ASSERT_EQ(expected.size(), 1u);
+  PlannerOptions both;
+  both.batch_size = GetParam();
+  both.refine = true;
+  both.refinement.fuse_pipelines = true;
+  both.refinement.adaptive_buffering = true;
+  OperatorPtr plan = MustPlan(kSql, both);
+  auto actual = RunPlanBatched(plan.get(), GetParam());
+  ASSERT_EQ(actual.size(), 1u);
+  ASSERT_EQ(expected[0].size(), actual[0].size());
+  for (size_t c = 0; c < expected[0].size(); ++c) {
+    EXPECT_TRUE(expected[0][c] == actual[0][c])
+        << "col " << c << ": " << expected[0][c].ToString() << " vs "
+        << actual[0][c].ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FusedPlanTest,
+                         ::testing::Values(1, 7, 256, 1024));
+
+}  // namespace
+}  // namespace bufferdb

@@ -51,8 +51,8 @@ IDENTITY_FIELDS = {
     "smoke", "hw", "rows", "sim_rows", "key_range", "batch_width",
     "batch_size", "buffer_size", "sim_buffer_size", "iters", "keep_fraction",
     "buffers_added", "groups_out", "selected", "outputs_identical", "avx2",
-    "decode_rows_out", "string_rows_out", "series", "adaptive_chosen_size",
-    "adaptive_demoted", "best_static",
+    "decode_rows_out", "string_rows_out", "rows_out", "series",
+    "adaptive_chosen_size", "adaptive_demoted", "best_static",
 }
 
 # (regex on the dotted metric path, direction, kind)
@@ -64,8 +64,9 @@ POLICIES = [
                 r"l1d_misses|l2_misses|l2_i_misses|itlb_misses|mispredicts|"
                 r"l1i_accesses|l1d_accesses|l2_accesses|itlb_accesses|"
                 r"branches)$"), "lower", "rel"),
-    (re.compile(r"^sim_(orig|buf|tuple|batch|row|col)_(l1i|itlb|mispredicts|"
-                r"instructions|l1i_misses|l1i_accesses)"), "lower", "rel"),
+    (re.compile(r"^sim_(orig|buf|tuple|batch|row|col|fused|unfused)_"
+                r"(l1i|itlb|mispredicts|instructions|l1i_misses|"
+                r"l1i_accesses)"), "lower", "rel"),
     (re.compile(r"reduction_pct$|improvement_pct$"), "higher", "abs_pct"),
     # Speedups are ratios of same-machine times: cross-runner comparable,
     # but still wall-clock noisy -- gated at >= 30% regardless of --tolerance.
@@ -169,6 +170,13 @@ class Comparison:
 
     def compare_files(self, name, base_path, cur_path):
         base, cur = load_jsonl(base_path), load_jsonl(cur_path)
+        if not base:
+            # An empty-but-present baseline would otherwise compare equal to
+            # an empty current run and silently gate nothing.
+            self.regressions.append(
+                f"{name}: baseline file is empty ({base_path}) -- "
+                f"regenerate bench/baselines from a real run")
+            return
         if len(base) != len(cur):
             self.regressions.append(
                 f"{name}: record count differs ({len(base)} baseline vs "
@@ -296,6 +304,26 @@ def self_test() -> int:
         sink = io.StringIO()
         assert run(bdir, cdir, 0.15, 0.6, None, sink) == 1
         assert "stale" in sink.getvalue()
+
+        # Fused-pipeline counters are gated like the other sim counters.
+        fused_base = dict(base_rec, sim_fused_l1i_accesses=1000)
+        fused_bad = dict(base_rec, sim_fused_l1i_accesses=1400)
+        write(bdir, "x.jsonl", [fused_base])
+        write(cdir, "x.jsonl", [fused_bad])
+        assert run(bdir, cdir, 0.15, 0.6, None, io.StringIO()) == 1
+        write(bdir, "x.jsonl", [base_rec])
+
+        # Empty baseline file -> explicit FAIL (even against an empty current
+        # run), not a silent zero-record PASS.
+        write(bdir, "empty.jsonl", [])
+        write(cdir, "empty.jsonl", [])
+        sink = io.StringIO()
+        assert run(bdir, cdir, 0.15, 0.6, None, sink) == 1
+        assert "empty" in sink.getvalue()
+        os.unlink(os.path.join(bdir, "empty.jsonl"))
+        os.unlink(os.path.join(cdir, "empty.jsonl"))
+        write(cdir, "x.jsonl", [base_rec])
+        assert run(bdir, cdir, 0.15, 0.6, None, io.StringIO()) == 0
 
         # Missing current file -> FAIL.
         os.unlink(os.path.join(cdir, "x.jsonl"))
